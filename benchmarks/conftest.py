@@ -1,0 +1,72 @@
+"""Benchmark fixtures.
+
+Three session-scoped scenarios:
+
+* ``bench_scenario`` — the main deployment (default boosts) most
+  benches analyze;
+* ``social_scenario`` — redirect-target traffic boosted hard, for the
+  Table 7/14 benches whose subject is a few thousand requests out of
+  751 M in the paper;
+* ``ip_scenario`` — raw-IP traffic boosted, for the Table 11/12
+  benches.
+
+Scale via the REPRO_BENCH_SCALE environment variable (total requests
+of the main scenario; default 200000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import build_scenario
+from repro.workload.config import (
+    DEFAULT_BOOSTS,
+    DEFAULT_USER_DAY_BOOST,
+    ScenarioConfig,
+)
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    config = ScenarioConfig(
+        total_requests=BENCH_SCALE,
+        seed=2014,
+        boosts=dict(DEFAULT_BOOSTS),
+        user_day_boost=DEFAULT_USER_DAY_BOOST,
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def social_scenario():
+    config = ScenarioConfig(
+        total_requests=max(BENCH_SCALE // 3, 30_000),
+        seed=2015,
+        boosts=dict(DEFAULT_BOOSTS) | {"redirect-targets": 600.0},
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def ip_scenario():
+    config = ScenarioConfig(
+        total_requests=max(BENCH_SCALE // 3, 30_000),
+        seed=2016,
+        boosts=dict(DEFAULT_BOOSTS) | {"iphosts": 60.0},
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def unboosted_scenario():
+    """True paper proportions, no boosts — used by the ablations."""
+    config = ScenarioConfig(
+        total_requests=BENCH_SCALE,
+        seed=2017,
+        boosts={},
+    )
+    return build_scenario(config)

@@ -1,0 +1,178 @@
+"""The paper's reported numbers, used by the benches to print
+paper-vs-measured comparisons.
+
+Values are transcribed from Chaabane et al., "Censorship in the Wild:
+Analyzing Internet Filtering in Syria" (IMC 2014).  Absolute request
+counts are not comparable (the paper analyzed 751 M requests; the
+benches simulate a few hundred thousand), so the benches compare
+*shares and rankings*.
+"""
+
+# Table 1: dataset sizes.
+TABLE1 = {
+    "Full": 751_295_830,
+    "Sample": 32_310_958,
+    "User": 6_374_333,
+    "Denied": 47_452_194,
+}
+
+# Table 3 (D_full column): percent of total traffic.
+TABLE3_FULL_PCT = {
+    "allowed": 93.25,
+    "proxied": 0.47,
+    "denied": 6.28,
+    "tcp_error": 2.86,
+    "internal_error": 1.96,
+    "invalid_request": 0.36,
+    "unsupported_protocol": 0.10,
+    "dns_unresolved_hostname": 0.02,
+    "dns_server_failure": 0.01,
+    "policy_denied": 0.98,
+    "policy_redirect": 0.00,
+}
+
+# Table 4: top-10 domains with share of their traffic class (%).
+TABLE4_ALLOWED = [
+    ("google.com", 7.19), ("xvideos.com", 3.34), ("gstatic.com", 3.30),
+    ("facebook.com", 2.54), ("microsoft.com", 2.38), ("fbcdn.net", 2.35),
+    ("windowsupdate.com", 2.20), ("google-analytics.com", 1.77),
+    ("doubleclick.net", 1.60), ("msn.com", 1.57),
+]
+TABLE4_CENSORED = [
+    ("facebook.com", 21.91), ("metacafe.com", 17.33), ("skype.com", 6.83),
+    ("live.com", 5.98), ("google.com", 5.71), ("zynga.com", 5.14),
+    ("yahoo.com", 5.02), ("wikimedia.org", 4.16), ("fbcdn.net", 3.59),
+    ("ceipmsn.com", 1.83),
+]
+
+# Table 5: top censored domains, Aug 3, 8am-10am window (share %).
+TABLE5_8_10 = [
+    ("skype.com", 29.24), ("facebook.com", 19.45), ("live.com", 9.59),
+    ("metacafe.com", 7.59), ("google.com", 6.76),
+]
+
+# Table 6: selected similarity values.
+TABLE6 = {
+    ("SG-43", "SG-44"): 0.8226,
+    ("SG-44", "SG-46"): 0.8757,
+    ("SG-48", "SG-45"): 0.6701,
+    ("SG-48", "SG-43"): 0.0696,
+    ("SG-48", "SG-47"): 0.0455,
+}
+
+# Table 7: policy_redirect hosts (share of redirects, %).
+TABLE7 = [
+    ("upload.youtube.com", 86.79), ("www.facebook.com", 10.69),
+    ("ar-ar.facebook.com", 1.77), ("competition.mbc.net", 0.33),
+    ("sharek.aljazeera.net", 0.29),
+]
+
+# Table 8: top suspected domains (share of censored traffic, %).
+TABLE8 = [
+    ("metacafe.com", 17.33), ("skype.com", 6.83), ("wikimedia.org", 4.16),
+    (".il", 1.52), ("amazon.com", 0.85), ("aawsat.com", 0.70),
+    ("jumblo.com", 0.31), ("jeddahbikers.com", 0.29), ("badoo.com", 0.20),
+    ("islamway.com", 0.20),
+]
+
+# Table 9: suspected-domain categories (domain count, share of
+# censored traffic %) — D_sample.
+TABLE9 = [
+    ("Instant Messaging", 2, 16.63), ("Streaming Media", 6, 13.87),
+    ("Education/Reference", 4, 9.57), ("General News", 62, 3.07),
+    ("NA", 42, 2.39), ("Online Shopping", 2, 1.66),
+    ("Internet Services", 6, 1.05), ("Social Networking", 6, 0.75),
+    ("Entertainment", 4, 0.65), ("Forum/Bulletin Boards", 8, 0.57),
+]
+
+# Table 10: keywords (share of censored traffic, %).
+TABLE10 = [
+    ("proxy", 53.61), ("hotspotshield", 1.71), ("ultrareach", 0.69),
+    ("israel", 0.65), ("ultrasurf", 0.43),
+]
+
+# Table 11: country censorship ratios (%).
+TABLE11 = [
+    ("IL", 6.69), ("KW", 2.02), ("RU", 0.64), ("GB", 0.26),
+    ("NL", 0.17), ("SG", 0.13), ("BG", 0.09),
+]
+
+# Table 12: Israeli subnets (censored requests, censored IPs,
+# allowed requests).
+TABLE12 = [
+    ("84.229.0.0/16", 574, 198, 0),
+    ("46.120.0.0/15", 571, 11, 5),
+    ("89.138.0.0/15", 487, 148, 1),
+    ("212.235.64.0/19", 474, 5, 325),
+    ("212.150.0.0/16", 471, 3, 6366),
+]
+
+# Table 13: top censored social networks (censored share of all
+# censored traffic, %).
+TABLE13 = [
+    ("facebook.com", 21.91), ("badoo.com", 0.20), ("netlog.com", 0.13),
+    ("linkedin.com", 0.10), ("skyrock.com", 0.04), ("hi5.com", 0.04),
+    ("twitter.com", 0.00),
+]
+
+# Table 14: blocked Facebook pages (censored, allowed).
+TABLE14 = [
+    ("Syrian.Revolution", 1461, 891), ("syria.news.F.N.N", 191, 165),
+    ("ShaamNews", 114, 3944), ("fffm14", 42, 18),
+    ("barada.channel", 25, 9), ("DaysOfRage", 19, 2),
+]
+
+# Table 15: Facebook plugin elements (share of censored fb traffic, %).
+TABLE15 = [
+    ("/plugins/like.php", 43.04), ("/extern/login_status.php", 38.99),
+    ("/plugins/likebox.php", 4.78), ("/plugins/send.php", 4.35),
+    ("/plugins/comments.php", 3.36), ("/fbml/fbjs_ajax_proxy.php", 2.64),
+    ("/connect/canvas_proxy.php", 2.51),
+]
+
+# Section 7.1 headline numbers.
+TOR = {
+    "requests": 95_000,
+    "relays": 1_111,
+    "http_share_pct": 73.0,
+    "censored_pct": 1.38,
+    "tcp_error_pct": 16.2,
+    "censoring_proxy": "SG-44",
+}
+
+# Section 7.2.
+ANONYMIZERS = {
+    "hosts": 821,
+    "requests_share_pct": 0.4,
+    "never_filtered_hosts_pct": 92.7,
+    "never_filtered_requests_pct": 25.0,
+    "majority_allowed_pct": 50.0,
+}
+
+# Section 7.3.
+BITTORRENT = {
+    "announces": 338_168,
+    "users": 38_575,
+    "contents": 35_331,
+    "allowed_pct": 99.97,
+    "resolve_rate_pct": 77.4,
+    "censored_tracker": "tracker-proxy.furk.net",
+}
+
+# Section 7.4.
+GOOGLE_CACHE = {"requests": 4_860, "censored": 12}
+
+# Section 4, HTTPS paragraph.
+HTTPS = {
+    "share_pct": 0.08,
+    "censored_pct": 0.82,
+    "censored_to_ip_pct": 82.0,
+}
+
+# Fig. 4 headline numbers.
+USERS = {
+    "total": 147_802,
+    "censored_pct": 1.57,
+    "active_censored_pct": 50.0,
+    "active_noncensored_pct": 5.0,
+}

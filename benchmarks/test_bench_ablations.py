@@ -1,0 +1,169 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Keyword collateral damage — remove the ``proxy`` keyword and
+   measure the censored-volume drop (the paper attributes 53.6 % of
+   censored traffic to it, largely non-sensitive URLs).
+2. Domain-based redirection — uniform routing collapses Table 6's
+   similarity structure.
+3. Request-based logging inflation — page-level accounting of the
+   censored share vs the request-level share the logs report.
+4. Sampling fidelity — D_sample (4 %) error against the paper's CI
+   argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import overview, proxies, stringfilter
+from repro.analysis.common import censored_mask
+from repro.datasets import build_scenario, proportion_confidence_interval
+from repro.policy.syria import KEYWORDS, build_syrian_policy
+from repro.proxy import ProxyFleet, RoutingPolicy
+
+
+def test_ablation_proxy_keyword_collateral(benchmark, bench_scenario):
+    """How much of the censorship is the 'proxy' keyword alone?"""
+    result = benchmark.pedantic(
+        lambda: stringfilter.keyword_stats(bench_scenario.full, KEYWORDS),
+        rounds=2,
+    )
+    total_censored = overview.traffic_breakdown(bench_scenario.full).censored
+    proxy_share = next(r for r in result if r.keyword == "proxy")
+    print(f"\nAblation 1 — removing the 'proxy' keyword would drop "
+          f"{proxy_share.censored_share_pct:.1f}% of censored traffic "
+          f"({proxy_share.censored}/{total_censored}); paper: 53.6%")
+    assert 30.0 < proxy_share.censored_share_pct < 75.0
+
+
+def test_ablation_uniform_routing(benchmark, bench_scenario):
+    """Re-run the fleet with uniform routing: SG-48's specialization
+    (and Table 6's outlier structure) must disappear."""
+
+    def rerun_uniform():
+        generator = bench_scenario.generator
+        policy = build_syrian_policy(
+            generator.sites,
+            tor_directory=generator.tor_directory,
+            extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+        )
+        fleet = ProxyFleet(policy, routing=RoutingPolicy(overrides={}))
+        rng = np.random.default_rng(99)
+        day = "2011-08-03"
+        requests = generator.generate_day(day, np.random.default_rng(3))
+        records = fleet.process_all(requests, rng)
+        from repro.frame import frame_from_records
+
+        return frame_from_records(records)
+
+    uniform_frame = benchmark.pedantic(rerun_uniform, rounds=1)
+    uniform = proxies.proxy_similarity(uniform_frame)
+    specialized = proxies.proxy_similarity(bench_scenario.full)
+
+    def sg48_mean(matrix):
+        return np.mean([
+            matrix.value("SG-48", name)
+            for name in matrix.proxies
+            if name != "SG-48"
+        ])
+
+    print(f"\nAblation 2 — SG-48 mean similarity to peers: "
+          f"specialized routing {sg48_mean(specialized):.2f} vs "
+          f"uniform routing {sg48_mean(uniform):.2f} "
+          "(specialization is what makes SG-48 the Table 6 outlier)")
+    assert sg48_mean(uniform) > sg48_mean(specialized) + 0.15
+
+
+def test_ablation_request_level_inflation(benchmark, bench_scenario):
+    """The paper argues request-level logging inflates allowed volume:
+    one censored *page* is one log line, one allowed page is many.
+    Approximate page-level accounting by deduplicating on
+    (client, host, 30-second window)."""
+
+    def page_level_censored_share():
+        frame = bench_scenario.user  # hashed clients -> page grouping
+        censored = censored_mask(frame)
+        keys = [
+            f"{c}|{h}|{e // 30}"
+            for c, h, e in zip(
+                frame.col("c_ip"), frame.col("cs_host"), frame.col("epoch")
+            )
+        ]
+        keys = np.array(keys, dtype=object)
+        _, first_indices = np.unique(keys, return_index=True)
+        page_censored = censored[first_indices]
+        return 100.0 * page_censored.mean()
+
+    page_share = benchmark.pedantic(page_level_censored_share, rounds=2)
+    request_share = overview.traffic_breakdown(
+        bench_scenario.user
+    ).censored_pct
+    print(f"\nAblation 3 — censored share: request-level "
+          f"{request_share:.2f}% vs page-level {page_share:.2f}% "
+          "(request logging dilutes the censored share, as the paper argues)")
+    assert page_share > request_share
+
+
+def test_ablation_sampling_fidelity(benchmark, bench_scenario):
+    """D_sample's censored share vs D_full, against the CI bound."""
+
+    def sample_error():
+        full = overview.traffic_breakdown(bench_scenario.full)
+        sample = overview.traffic_breakdown(bench_scenario.sample)
+        return abs(full.censored_pct - sample.censored_pct) / 100.0
+
+    error = benchmark.pedantic(sample_error, rounds=2)
+    n = len(bench_scenario.sample)
+    p = overview.traffic_breakdown(bench_scenario.sample).censored_pct / 100
+    low, high = proportion_confidence_interval(p, n)
+    bound = (high - low) / 2
+    print(f"\nAblation 4 — sample error {error:.5f} vs 95% CI half-width "
+          f"{bound:.5f} at n={n} (the paper quotes ±0.0001 at n=32M)")
+    assert error < bound * 4  # within a generous multiple of the bound
+
+
+def test_ablation_lru_cache(benchmark, bench_scenario):
+    """Swap the calibrated probabilistic cache for the behavioural LRU
+    and compare the PROXIED rate that *emerges* from URL repetition
+    against the paper's 0.47 %."""
+
+    def rerun_with_lru():
+        from repro.frame import frame_from_records
+        from repro.policy.cache import LruProxyCache
+
+        generator = bench_scenario.generator
+        policy = build_syrian_policy(
+            generator.sites,
+            tor_directory=generator.tor_directory,
+            extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+        )
+        cache = LruProxyCache(capacity=30_000)
+        fleet = ProxyFleet(policy, cache=cache)
+        rng = np.random.default_rng(5)
+        requests = generator.generate_day("2011-08-02", np.random.default_rng(6))
+        records = fleet.process_all(requests, rng)
+        return frame_from_records(records), cache
+
+    frame, cache = benchmark.pedantic(rerun_with_lru, rounds=1)
+    proxied = float((frame.col("sc_filter_result") == "PROXIED").mean()) * 100
+    print(f"\nAblation 6 — behavioural LRU cache: hit rate "
+          f"{cache.hit_rate * 100:.2f}%, PROXIED share {proxied:.2f}%. "
+          "URL repetition alone would make far more traffic cache-"
+          "servable than the logs' 0.47% PROXIED rate — evidence the "
+          "appliances flagged only a narrow subset of cache decisions, "
+          "which is why the calibrated probabilistic model is the "
+          "default.")
+    assert proxied > 2.0  # repetition-driven caching is substantial
+
+
+def test_ablation_unboosted_proportions(benchmark, unboosted_scenario):
+    """With no boosts the headline censored share lands on the paper's
+    ~1 % — the boosts used elsewhere only inflate rare components."""
+    result = benchmark.pedantic(
+        lambda: overview.traffic_breakdown(unboosted_scenario.full), rounds=2
+    )
+    print(f"\nAblation 5 — unboosted censored share "
+          f"{result.censored_pct:.2f}% (paper 0.98%), allowed "
+          f"{result.allowed_pct:.2f}% (paper 93.25%)")
+    assert 0.6 < result.censored_pct < 1.6
+    assert result.allowed_pct > 91.0

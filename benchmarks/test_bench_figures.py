@@ -1,0 +1,203 @@
+"""One bench per paper figure (Figs 1-10).
+
+Each bench times the analysis behind the figure and prints the series
+or distribution it would plot (run with ``-s``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import paper_values as paper
+
+from repro.analysis import (
+    anonymizers,
+    categories,
+    overview,
+    proxies,
+    temporal,
+    toranalysis,
+    users,
+)
+from repro.reporting import render_table
+from repro.reporting.tables import render_bar_chart
+from repro.stats.powerlaw import fit_power_law
+from repro.timeline import PROTEST_DAY, day_epoch
+
+
+def _aug_range():
+    return day_epoch("2011-08-01"), day_epoch("2011-08-06") + 86400
+
+
+def test_fig1_ports(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: overview.port_distribution(bench_scenario.full), rounds=3
+    )
+    print()
+    print(render_bar_chart(
+        [(str(p), float(c)) for p, c in result.censored[:8]],
+        title="Fig 1 — censored traffic by destination port "
+              "(paper: 80 and 443 dominate, 9001 third)",
+    ))
+    censored_ports = [p for p, _ in result.censored[:5]]
+    assert 80 in censored_ports
+
+
+def test_fig2_powerlaw(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: overview.domain_request_distribution(bench_scenario.full),
+        rounds=2,
+    )
+    counts = result.per_domain_counts["allowed"]
+    alpha = fit_power_law(counts, xmin=3)
+    print(f"\nFig 2 — requests-per-domain: {len(counts)} domains, "
+          f"max={counts.max()}, tail exponent alpha≈{alpha:.2f} "
+          "(paper: power-law curves for allowed/denied/censored)")
+    print(render_table(
+        ["# requests", "# domains (allowed)"],
+        [[x, y] for x, y in result.allowed[:6]] + [["...", "..."]],
+    ))
+    assert counts.max() > 100 * np.median(counts)
+
+
+def test_fig3_categories(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: categories.censored_category_distribution(
+            bench_scenario.full, bench_scenario.categorizer
+        ),
+        rounds=3,
+    )
+    print()
+    print(render_bar_chart(
+        [(s.category, s.share_pct) for s in result[:10]],
+        title="Fig 3 — censored traffic by category "
+              "(paper: Content Server >25%, then Streaming Media)",
+    ))
+    by_category = {s.category: s.share_pct for s in result}
+    assert by_category.get("Content Server", 0) > 15.0
+
+
+def test_fig4_users(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: users.user_analysis(bench_scenario.user, active_threshold=50),
+        rounds=3,
+    )
+    print(f"\nFig 4 — users: {result.total_users} total "
+          f"(paper {paper.USERS['total']:,}), "
+          f"censored {result.censored_user_pct:.2f}% "
+          f"(paper {paper.USERS['censored_pct']}%), "
+          f"active share censored/non-censored: "
+          f"{result.active_share_censored_pct:.1f}%/"
+          f"{result.active_share_noncensored_pct:.1f}% "
+          f"(paper ~50%/5%)")
+    assert (
+        result.active_share_censored_pct
+        > result.active_share_noncensored_pct
+    )
+
+
+def test_fig5_timeseries(benchmark, bench_scenario):
+    start, end = _aug_range()
+    result = benchmark.pedantic(
+        lambda: temporal.traffic_timeseries(bench_scenario.full, start, end),
+        rounds=3,
+    )
+    daily = result.allowed_counts.reshape(6, -1).sum(axis=1)
+    print("\nFig 5 — daily allowed volume Aug 1-6 "
+          "(paper: Friday Aug 5 slowdown):",
+          daily.tolist())
+    assert daily[4] < daily[2]  # Friday < Wednesday
+
+
+def test_fig6_rcv(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: temporal.relative_censored_volume(
+            bench_scenario.full, PROTEST_DAY
+        ),
+        rounds=3,
+    )
+    hourly = np.array([
+        np.nanmean(result.rcv[h * 12:(h + 1) * 12]) for h in range(24)
+    ])
+    print("\nFig 6 — RCV by hour on Aug 3 (paper: ~1% baseline, "
+          "~2% peak at 8-9:30am):")
+    print(render_bar_chart(
+        [(f"{h:02d}h", float(hourly[h]) * 100)
+         for h in range(4, 24, 2) if not np.isnan(hourly[h])],
+    ))
+    morning = np.nanmean(result.rcv[int(8 * 12): int(9.5 * 12)])
+    afternoon = np.nanmean(result.rcv[int(14 * 12): int(20 * 12)])
+    assert morning > afternoon
+
+
+def test_fig7_proxy_load(benchmark, bench_scenario):
+    start = day_epoch("2011-08-03")
+    result = benchmark.pedantic(
+        lambda: proxies.proxy_load_timeseries(
+            bench_scenario.full, start, start + 2 * 86400, bin_seconds=6 * 3600
+        ),
+        rounds=3,
+    )
+    total_by_proxy = result.total_shares.mean(axis=1)
+    censored_by_proxy = result.censored_shares.mean(axis=1)
+    print()
+    print(render_table(
+        ["Proxy", "Mean total share %", "Mean censored share %"],
+        [[proxy, f"{total_by_proxy[i]:.1f}", f"{censored_by_proxy[i]:.1f}"]
+         for i, proxy in enumerate(result.proxies)],
+        title="Fig 7 — per-proxy load, Aug 3-4 (paper: balanced total, "
+              "SG-48 over-represented in censored)",
+    ))
+    sg48 = result.proxies.index("SG-48")
+    assert censored_by_proxy[sg48] > total_by_proxy[sg48]
+
+
+def test_fig8_tor(benchmark, bench_scenario):
+    tor = toranalysis.identify_tor_traffic(
+        bench_scenario.full, bench_scenario.generator.tor_directory
+    )
+    start, end = _aug_range()
+    result = benchmark.pedantic(
+        lambda: toranalysis.tor_hourly_series(tor, start, end), rounds=3
+    )
+    overview_stats = toranalysis.tor_overview(tor)
+    daily = result.counts.reshape(6, 24).sum(axis=1)
+    print(f"\nFig 8 — Tor requests/day Aug 1-6: {daily.tolist()} "
+          "(paper: peak on Aug 3); "
+          f"http share {overview_stats.http_share_pct:.1f}% "
+          f"(paper {paper.TOR['http_share_pct']}%), censored by "
+          f"{overview_stats.censored_by_proxy} (paper: SG-44 only)")
+    assert daily[2] == daily.max()  # Aug 3 peak
+    assert set(overview_stats.censored_by_proxy) <= {"SG-44"}
+
+
+def test_fig9_rfilter(benchmark, bench_scenario):
+    tor = toranalysis.identify_tor_traffic(
+        bench_scenario.full, bench_scenario.generator.tor_directory
+    )
+    result = benchmark.pedantic(
+        lambda: toranalysis.refilter_ratio(tor, bin_seconds=6 * 3600),
+        rounds=3,
+    )
+    values = result.rfilter[~np.isnan(result.rfilter)]
+    print(f"\nFig 9 — R_filter over {len(values)} six-hour bins "
+          "(hourly in the paper; coarser here for statistical power): "
+          f"mean={values.mean():.2f}, std={values.std():.2f} "
+          "(paper: high variance = inconsistent Tor blocking)")
+    assert values.std() > 0.025
+
+
+def test_fig10_anonymizers(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: anonymizers.anonymizer_analysis(
+            bench_scenario.full, bench_scenario.categorizer
+        ),
+        rounds=2,
+    )
+    print(f"\nFig 10 — anonymizers: {result.hosts} hosts "
+          f"(paper {paper.ANONYMIZERS['hosts']}), "
+          f"never filtered {result.never_filtered_hosts_pct:.1f}% of hosts / "
+          f"{result.never_filtered_requests_pct:.1f}% of requests "
+          f"(paper 92.7%/25%), filtered hosts with more allowed than "
+          f"censored: {result.majority_allowed_pct:.1f}% (paper >50%)")
+    assert result.hosts > 60
+    assert result.never_filtered_hosts_pct > 40.0

@@ -1,0 +1,114 @@
+"""Performance benches for the substrates themselves.
+
+Not paper reproductions — these track the throughput of the hot paths
+(generation, policy evaluation, columnar group-bys, GeoIP lookup,
+ELFF serialization) so regressions show up in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.catalog.domains import build_domain_universe
+from repro.frame import LogFrame
+from repro.geoip import builtin_registry
+from repro.logmodel.elff import read_log, write_log
+from repro.logmodel.record import LogRecord
+from repro.policy import KeywordRule, PolicyEngine, RequestView
+from repro.policy.syria import build_syrian_policy
+from repro.workload import TrafficGenerator
+from repro.workload.config import small_config
+
+
+def make_record(**overrides) -> LogRecord:
+    values = dict(
+        epoch=1312329600,
+        c_ip="0.0.0.0",
+        s_ip="82.137.200.42",
+        cs_host="www.example.com",
+    )
+    values.update(overrides)
+    return LogRecord(**values)
+
+
+def test_perf_generator_throughput(benchmark):
+    config = small_config(20_000, seed=55)
+    generator = TrafficGenerator(config)
+
+    def run():
+        rng = np.random.default_rng(1)
+        return len(generator.generate_day("2011-08-03", rng))
+
+    count = benchmark(run)
+    assert count > 3_000
+
+
+def test_perf_policy_engine(benchmark):
+    sites = build_domain_universe(tail_count=50)
+    policy = build_syrian_policy(sites)
+    engine = policy.base_engine
+    views = [
+        RequestView(host="www.google.com", path="/search", query="q=x"),
+        RequestView(host="www.facebook.com", path="/plugins/like.php",
+                    query="channel_url=xd_proxy.php"),
+        RequestView(host="www.metacafe.com", path="/watch/1/x/"),
+        RequestView(host="84.229.1.1", path="/"),
+        RequestView(host="www.sitez.com", path="/page/1.html"),
+    ] * 200
+
+    def run():
+        return sum(
+            1 for view in views if engine.evaluate(view).exception_id != "-"
+        )
+
+    denied = benchmark(run)
+    assert denied == 600  # plugins + metacafe + israeli subnet
+
+
+def test_perf_keyword_rule(benchmark):
+    rule = KeywordRule(["proxy", "hotspotshield", "ultrareach", "israel",
+                        "ultrasurf"])
+    view = RequestView(host="www.example.com", path="/some/ordinary/page",
+                       query="session=1234567890")
+    engine = PolicyEngine([rule])
+    result = benchmark(lambda: [engine.evaluate(view) for _ in range(1000)])
+    assert all(v.exception_id == "-" for v in result)
+
+
+def test_perf_frame_groupby(benchmark):
+    rng = np.random.default_rng(0)
+    n = 200_000
+    keys = np.array([f"domain{int(i)}.com" for i in rng.integers(0, 500, n)],
+                    dtype=object)
+    frame = LogFrame({
+        "domain": keys,
+        "value": rng.integers(0, 100, n),
+    })
+    result = benchmark(lambda: frame.groupby("domain").top(10))
+    assert len(result) == 10
+
+
+def test_perf_geoip_lookup(benchmark):
+    db = builtin_registry()
+    rng = np.random.default_rng(1)
+    addresses = rng.integers(0, 2**32 - 1, 100_000)
+    countries = benchmark(lambda: db.lookup_many(addresses))
+    assert len(countries) == 100_000
+
+
+def test_perf_elff_roundtrip(benchmark):
+    records = [
+        make_record(cs_host=f"host{i % 50}.com", epoch=1312329600 + i)
+        for i in range(5_000)
+    ]
+
+    def run():
+        buffer = io.StringIO()
+        write_log(records, buffer)
+        buffer.seek(0)
+        return sum(1 for _ in read_log(buffer))
+
+    count = benchmark(run)
+    assert count == 5_000

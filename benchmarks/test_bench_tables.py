@@ -1,0 +1,270 @@
+"""One bench per paper table (Tables 1-15).
+
+Each bench times the analysis that regenerates the table, then prints
+the paper's rows next to the measured ones (run with ``-s`` to see the
+comparisons).  Absolute counts differ by construction — the simulated
+deployment is ~3,000× smaller than the leak — so the comparisons are
+over shares and rankings.
+"""
+
+from __future__ import annotations
+
+import paper_values as paper
+
+from repro.analysis import (
+    ipfilter,
+    overview,
+    proxies,
+    redirects,
+    socialmedia,
+    stringfilter,
+    temporal,
+)
+from repro.geoip import builtin_registry
+from repro.net.ip import parse_network
+from repro.policy.syria import KEYWORDS
+from repro.reporting import render_table
+from repro.timeline import PROTEST_DAY
+
+
+def _show(title, headers, rows):
+    print()
+    print(render_table(headers, rows, title=title))
+
+
+def test_table1_datasets(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: overview.dataset_inventory({
+            "Full": bench_scenario.full,
+            "Sample": bench_scenario.sample,
+            "User": bench_scenario.user,
+            "Denied": bench_scenario.denied,
+        }),
+        rounds=3,
+    )
+    _show(
+        "Table 1 — datasets (paper counts are the 751 M-request leak)",
+        ["Dataset", "Paper requests", "Measured", "Days", "Proxies"],
+        [
+            [row.name, paper.TABLE1.get(row.name, "-"), row.requests,
+             len(row.days), row.proxies]
+            for row in result
+        ],
+    )
+
+
+def test_table3_traffic_breakdown(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: overview.traffic_breakdown(bench_scenario.full), rounds=3
+    )
+    rows = [
+        ["allowed", paper.TABLE3_FULL_PCT["allowed"], f"{result.allowed_pct:.2f}"],
+        ["proxied", paper.TABLE3_FULL_PCT["proxied"], f"{result.proxied_pct:.2f}"],
+        ["denied", paper.TABLE3_FULL_PCT["denied"], f"{result.denied_pct:.2f}"],
+        ["censored", 0.98, f"{result.censored_pct:.2f}"],
+    ]
+    rows += [
+        [row.exception_id,
+         paper.TABLE3_FULL_PCT.get(row.exception_id, "-"),
+         f"{row.share_pct:.2f}"]
+        for row in result.exception_rows
+    ]
+    _show("Table 3 — traffic classes (% of D_full)",
+          ["Class", "Paper %", "Measured %"], rows)
+    assert result.allowed_pct > 90
+    assert 0.5 < result.censored_pct < 2.5
+
+
+def test_table4_top_domains(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: overview.top_domains(bench_scenario.full), rounds=3
+    )
+    rows = []
+    for i in range(10):
+        p_allowed = paper.TABLE4_ALLOWED[i] if i < len(paper.TABLE4_ALLOWED) else ("-", "-")
+        p_censored = paper.TABLE4_CENSORED[i] if i < len(paper.TABLE4_CENSORED) else ("-", "-")
+        m_allowed = result.allowed[i] if i < len(result.allowed) else None
+        m_censored = result.censored[i] if i < len(result.censored) else None
+        rows.append([
+            f"{p_allowed[0]} ({p_allowed[1]}%)",
+            f"{m_allowed.domain} ({m_allowed.share_pct:.2f}%)" if m_allowed else "-",
+            f"{p_censored[0]} ({p_censored[1]}%)",
+            f"{m_censored.domain} ({m_censored.share_pct:.2f}%)" if m_censored else "-",
+        ])
+    _show("Table 4 — top-10 domains",
+          ["Paper allowed", "Measured allowed",
+           "Paper censored", "Measured censored"], rows)
+    measured_censored = {r.domain for r in result.censored}
+    assert {"facebook.com", "metacafe.com", "skype.com"} <= measured_censored
+
+
+def test_table5_morning_windows(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: temporal.top_censored_windows(bench_scenario.full, PROTEST_DAY),
+        rounds=3,
+    )
+    eight_to_ten = result[1]
+    _show(
+        "Table 5 — top censored domains, Aug 3, 8am-10am "
+        f"(paper top: {paper.TABLE5_8_10[:3]})",
+        ["Domain", "Measured % of censored"],
+        [[domain, f"{share:.1f}"] for domain, share in eight_to_ten.rows[:8]],
+    )
+    top_domains = [domain for domain, _ in eight_to_ten.rows[:4]]
+    assert "skype.com" in top_domains
+
+
+def test_table6_proxy_similarity(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: proxies.proxy_similarity(bench_scenario.full), rounds=3
+    )
+    rows = [
+        [f"{a} vs {b}", value, f"{result.value(a, b):.3f}"]
+        for (a, b), value in paper.TABLE6.items()
+    ]
+    _show("Table 6 — censored-domain cosine similarity (full period)",
+          ["Pair", "Paper (Aug 3)", "Measured"], rows)
+    # structure: the SG-48 outlier, with SG-45 its closest peer
+    assert result.value("SG-48", "SG-43") < result.value("SG-43", "SG-46")
+    assert result.value("SG-48", "SG-45") > result.value("SG-48", "SG-47")
+
+
+def test_table7_redirect_hosts(benchmark, social_scenario):
+    result = benchmark.pedantic(
+        lambda: redirects.redirect_hosts(social_scenario.full), rounds=3
+    )
+    paper_shares = dict(paper.TABLE7)
+    _show("Table 7 — policy_redirect hosts (% of redirects)",
+          ["Host", "Paper %", "Measured %"],
+          [[host, paper_shares.get(host, "-"), f"{share:.2f}"]
+           for host, _, share in result.rows])
+    assert result.rows[0][0] == "upload.youtube.com"
+
+
+def test_table8_suspected_domains(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: stringfilter.recover_censored_domains(bench_scenario.full),
+        rounds=2,
+    )
+    paper_shares = dict(paper.TABLE8)
+    _show(
+        f"Table 8 — suspected domains (measured: {len(result)} domains; "
+        "paper: 105)",
+        ["Domain", "Paper % of censored", "Measured %"],
+        [[row.domain, paper_shares.get(row.domain, "-"),
+          f"{row.censored_share_pct:.2f}"] for row in result[:12]],
+    )
+    recovered = {row.domain for row in result}
+    assert {"metacafe.com", "skype.com", "wikimedia.org"} <= recovered
+
+
+def test_table9_domain_categories(benchmark, bench_scenario):
+    suspected = stringfilter.recover_censored_domains(bench_scenario.full)
+    total_censored = overview.traffic_breakdown(bench_scenario.full).censored
+    result = benchmark.pedantic(
+        lambda: stringfilter.categorize_suspected(
+            suspected, bench_scenario.categorizer, total_censored
+        ),
+        rounds=3,
+    )
+    paper_rows = {cat: (n, share) for cat, n, share in paper.TABLE9}
+    _show("Table 9 — suspected-domain categories",
+          ["Category", "Paper (#dom, %)", "Measured (#dom, %)"],
+          [[row.category, paper_rows.get(row.category, "-"),
+            (row.domain_count, round(row.censored_share_pct, 2))]
+           for row in result])
+    categories = [row.category for row in result]
+    assert "Streaming Media" in categories
+    assert "Instant Messaging" in categories
+
+
+def test_table10_keywords(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: stringfilter.keyword_stats(bench_scenario.full, KEYWORDS),
+        rounds=2,
+    )
+    paper_shares = dict(paper.TABLE10)
+    _show("Table 10 — blacklisted keywords (% of censored traffic)",
+          ["Keyword", "Paper %", "Measured %", "Measured allowed"],
+          [[row.keyword, paper_shares[row.keyword],
+            f"{row.censored_share_pct:.2f}", row.allowed] for row in result])
+    assert result[0].keyword == "proxy"
+    assert all(row.allowed == 0 for row in result)
+
+
+def test_table11_country_ratio(benchmark, ip_scenario):
+    ip_frame = ipfilter.ipv4_subset(ip_scenario.full)
+    result = benchmark.pedantic(
+        lambda: ipfilter.country_censorship_ratio(ip_frame, builtin_registry()),
+        rounds=3,
+    )
+    paper_ratios = dict(paper.TABLE11)
+    _show("Table 11 — censorship ratio per country (D_IPv4)",
+          ["Country", "Paper ratio %", "Measured ratio %", "Measured c/a"],
+          [[row.country, paper_ratios.get(row.country, "-"),
+            f"{row.ratio_pct:.2f}", f"{row.censored}/{row.allowed}"]
+           for row in result])
+    by_country = {row.country: row.ratio_pct for row in result}
+    assert "IL" in by_country
+    if "NL" in by_country:
+        assert by_country["IL"] > by_country["NL"]
+
+
+def test_table12_israeli_subnets(benchmark, ip_scenario):
+    ip_frame = ipfilter.ipv4_subset(ip_scenario.full)
+    subnets = ip_scenario.policy.blocked_subnets + (
+        parse_network("212.150.0.0/16"),
+    )
+    result = benchmark.pedantic(
+        lambda: ipfilter.israeli_subnets(ip_frame, subnets), rounds=3
+    )
+    paper_rows = {s: (c, i, a) for s, c, i, a in paper.TABLE12}
+    _show("Table 12 — Israeli subnets (censored req / censored IPs / allowed req)",
+          ["Subnet", "Paper", "Measured"],
+          [[row.subnet, paper_rows.get(row.subnet, "-"),
+            (row.censored_requests, row.censored_ips, row.allowed_requests)]
+           for row in result])
+    by_subnet = {row.subnet: row for row in result}
+    assert by_subnet["212.150.0.0/16"].allowed_requests > 0
+    assert by_subnet["84.229.0.0/16"].allowed_requests == 0
+
+
+def test_table13_social_networks(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: socialmedia.osn_breakdown(bench_scenario.full), rounds=3
+    )
+    paper_shares = dict(paper.TABLE13)
+    _show("Table 13 — censored social networks (% of censored traffic)",
+          ["Network", "Paper %", "Measured %", "Measured c/a"],
+          [[row.network, paper_shares.get(row.network, "-"),
+            f"{row.censored_share_pct:.2f}", f"{row.censored}/{row.allowed}"]
+           for row in result])
+    assert result[0].network == "facebook.com"
+
+
+def test_table14_facebook_pages(benchmark, social_scenario):
+    result = benchmark.pedantic(
+        lambda: socialmedia.facebook_pages(social_scenario.full), rounds=3
+    )
+    paper_rows = {page: (c, a) for page, c, a in paper.TABLE14}
+    _show("Table 14 — blocked Facebook pages (censored/allowed)",
+          ["Page", "Paper", "Measured"],
+          [[row.page, paper_rows.get(row.page, "-"),
+            (row.censored, row.allowed)] for row in result[:12]])
+    assert result[0].page == "Syrian.Revolution"
+    by_page = {row.page: row for row in result}
+    if "ShaamNews" in by_page:  # mostly-allowed page, like the paper
+        assert by_page["ShaamNews"].allowed > by_page["ShaamNews"].censored
+
+
+def test_table15_facebook_plugins(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: socialmedia.facebook_plugins(bench_scenario.full), rounds=3
+    )
+    paper_shares = dict(paper.TABLE15)
+    _show("Table 15 — Facebook social-plugin elements (% of censored fb traffic)",
+          ["Element", "Paper %", "Measured %"],
+          [[row.element, paper_shares.get(row.element, "-"),
+            f"{row.censored_share_pct:.2f}"] for row in result])
+    top_two = {result[0].element, result[1].element}
+    assert top_two == {"/plugins/like.php", "/extern/login_status.php"}

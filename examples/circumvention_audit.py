@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Censorship-circumvention audit (Section 7 of the paper).
+
+Measures how Syrian users evade the filter: web proxies and VPNs
+(Fig. 10), BitTorrent as a delivery channel for blocked software
+(Section 7.3), and Google's cache as an accidental mirror of censored
+pages (Section 7.4).
+
+Run:  python examples/circumvention_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.anonymizers import anonymizer_analysis
+from repro.analysis.googlecache import google_cache_analysis
+from repro.analysis.p2p import bittorrent_analysis
+from repro.analysis.stringfilter import recover_censored_domains
+from repro.bittorrent import TitleDatabase
+from repro.datasets import build_scenario
+from repro.stats.distributions import fraction_at_or_below
+from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+
+def main() -> None:
+    print("Simulating with circumvention traffic oversampled...")
+    datasets = build_scenario(ScenarioConfig(
+        total_requests=80_000,
+        seed=5,
+        boosts=dict(DEFAULT_BOOSTS) | {
+            "bittorrent": 20.0, "google-cache": 300.0,
+        },
+    ))
+    frame = datasets.full
+
+    # -- web proxies / VPNs (Section 7.2, Fig. 10) -----------------------
+    anon = anonymizer_analysis(frame, datasets.categorizer)
+    print(f"\nAnonymizer services: {anon.hosts} hosts carrying "
+          f"{anon.requests_share_pct:.2f}% of traffic")
+    print(f"  never filtered: {anon.never_filtered_hosts_pct:.1f}% of "
+          f"hosts ({anon.never_filtered_requests_pct:.1f}% of requests)")
+    print(f"  of the {anon.partially_filtered_hosts} filtered services, "
+          f"{anon.majority_allowed_pct:.1f}% still serve more allowed "
+          "than censored requests")
+    if anon.ratio_cdf:
+        ratios = [value for value, _ in anon.ratio_cdf]
+        below_one = fraction_at_or_below(
+            __import__("numpy").array(ratios), 1.0
+        )
+        print(f"  allowed/censored ratio spans {min(ratios):.2f} to "
+              f"{max(ratios):.1f} (Fig. 10b)")
+    print("  -> censorship keys on the 'proxy' keyword in fetch URLs, "
+          "not on the services themselves; tools without the keyword "
+          "pass untouched.")
+
+    # -- BitTorrent (Section 7.3) ----------------------------------------
+    titledb = TitleDatabase(datasets.generator.torrent_catalog)
+    bt = bittorrent_analysis(frame, titledb)
+    print(f"\nBitTorrent: {bt.announce_requests} announce requests from "
+          f"{bt.unique_users} peers for {bt.unique_contents} contents")
+    print(f"  {bt.allowed_share_pct:.2f}% allowed (paper: 99.97%); the "
+          f"only censored tracker: {bt.censored_tracker_hosts}")
+    print(f"  title crawl resolved {bt.resolve_rate_pct:.1f}% of info "
+          "hashes (paper: 77.4%)")
+    print(f"  circumvention-tool torrents: {bt.circumvention_announces} "
+          f"announces; IM-installer torrents: {bt.im_software_announces}")
+    print("  -> users fetch UltraSurf and Skype installers over P2P "
+          "because the official sites are blocked.")
+
+    # -- Google cache (Section 7.4) ---------------------------------------
+    suspected = {row.domain for row in recover_censored_domains(frame)}
+    cache = google_cache_analysis(
+        frame, suspected | {"panet.co.il", "free-syria.com"}
+    )
+    print(f"\nGoogle cache: {cache.requests} fetches through "
+          "webcache.googleusercontent.com")
+    print(f"  censored: {cache.censored} (only keyword hits in the cache "
+          "URL itself)")
+    print(f"  allowed fetches of otherwise-censored content: "
+          f"{cache.censored_content_fetches} — targets: "
+          f"{', '.join(cache.censored_targets)}")
+    print("  -> an unintended but effective circumvention channel, as "
+          "the paper concludes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Social-media censorship audit (Section 6 of the paper).
+
+Shows the paper's headline finding about social media: the platforms
+stay up, but a handful of political pages are surgically redirected,
+and the bulk of "censored facebook traffic" is collateral damage from
+the ``proxy`` keyword hitting social-plugin URLs.
+
+Run:  python examples/social_media_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.socialmedia import (
+    facebook_pages,
+    facebook_plugins,
+    osn_breakdown,
+)
+from repro.analysis.redirects import redirect_hosts
+from repro.datasets import build_scenario
+from repro.reporting import render_table
+from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+
+def main() -> None:
+    print("Simulating with page-visit traffic oversampled...")
+    datasets = build_scenario(ScenarioConfig(
+        total_requests=80_000,
+        seed=6,
+        boosts=dict(DEFAULT_BOOSTS) | {"redirect-targets": 600.0},
+    ))
+    frame = datasets.full
+
+    print(render_table(
+        ["Network", "Censored", "Allowed", "Proxied"],
+        [[r.network, r.censored, r.allowed, r.proxied]
+         for r in osn_breakdown(frame, top=12)],
+        title="\nTable 13 — the social-network watchlist "
+              "(28 networks; most are open)",
+    ))
+
+    print(render_table(
+        ["Facebook page", "Censored", "Allowed", "Custom-category hits"],
+        [[r.page, r.censored, r.allowed, r.custom_category_hits]
+         for r in facebook_pages(frame)[:12]],
+        title="\nTable 14 — page-level censorship (the custom "
+              "'Blocked sites' category)",
+    ))
+    print("Note how narrow the targeting is: the same page with an AJAX "
+          "query form escapes the category, and related pages "
+          "(ShaamNewsNetwork, Syrian.Revolution.Army) are never touched.")
+
+    print(render_table(
+        ["Plugin element", "Censored", "% of censored fb traffic"],
+        [[r.element, r.censored, f"{r.censored_share_pct:.1f}"]
+         for r in facebook_plugins(frame)],
+        title="\nTable 15 — social plugins: the collateral damage",
+    ))
+    print("The plugin URLs embed the SDK channel file xd_proxy.php; the "
+          "'proxy' substring match censors them all.")
+
+    redirects = redirect_hosts(frame)
+    print(render_table(
+        ["Redirect host", "Requests", "% of redirects"],
+        [[host, count, f"{share:.1f}"]
+         for host, count, share in redirects.rows],
+        title="\nTable 7 — hosts redirected rather than denied",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Tor censorship analysis (Section 7.1 of the paper).
+
+Identifies Tor traffic in the logs by matching destination endpoints
+against the relay directory, shows that a single proxy censors onion
+connections while directory traffic passes, and computes the
+R_filter inconsistency metric of Fig. 9.
+
+Run:  python examples/tor_blocking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.toranalysis import (
+    identify_tor_traffic,
+    refilter_ratio,
+    tor_hourly_series,
+    tor_overview,
+)
+from repro.datasets import build_scenario
+from repro.reporting.tables import render_bar_chart
+from repro.timeline import day_epoch
+from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+
+def main() -> None:
+    print("Simulating with Tor traffic oversampled for resolution...")
+    datasets = build_scenario(ScenarioConfig(
+        total_requests=80_000,
+        seed=7,
+        boosts=dict(DEFAULT_BOOSTS) | {"tor": 150.0},
+    ))
+    directory = datasets.generator.tor_directory
+    print(f"Relay directory: {len(directory)} relays, "
+          f"{len(directory.dir_endpoints())} with directory ports")
+
+    tor = identify_tor_traffic(datasets.full, directory)
+    overview = tor_overview(tor)
+    print(f"\nIdentified {overview.total_requests} Tor requests to "
+          f"{overview.distinct_relays} relays "
+          f"(paper: 95K requests, 1,111 relays)")
+    print(f"Directory (Tor_http) share: {overview.http_share_pct:.1f}% "
+          "(paper: 73%)")
+    print(f"TCP errors: {overview.tcp_error_pct:.1f}% (paper: 16.2%)")
+    print(f"Censored: {overview.censored} "
+          f"({overview.censored_pct:.2f}%; paper: 1.38%)")
+    print(f"Censoring proxies: {overview.censored_by_proxy} "
+          "(paper: 99.9% SG-44)")
+    print(f"Tor_http censored: {overview.http_censored} "
+          "(paper: only onion traffic is ever censored)")
+
+    start = day_epoch("2011-08-01")
+    end = day_epoch("2011-08-06") + 86400
+    series = tor_hourly_series(tor, start, end)
+    daily = series.counts.reshape(6, 24).sum(axis=1)
+    print(render_bar_chart(
+        [(f"Aug {i + 1}", float(count)) for i, count in enumerate(daily)],
+        title="\nTor requests per day (paper: peak on the Aug 3 protests)",
+    ))
+
+    rfilter = refilter_ratio(tor, bin_seconds=6 * 3600)
+    values = rfilter.rfilter[~np.isnan(rfilter.rfilter)]
+    print(f"\nR_filter over {len(values)} bins: mean {values.mean():.3f}, "
+          f"std {values.std():.3f}, min {values.min():.2f}")
+    print("High variance = previously-censored relays alternate between "
+          "blocked and allowed, the paper's evidence that the Tor "
+          "blocking was a trial deployment.")
+
+
+if __name__ == "__main__":
+    main()

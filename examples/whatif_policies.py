@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""What-if policy experiments.
+
+Re-runs the same nine days of traffic under alternative censorship
+policies and compares outcomes against the Summer-2011 baseline — the
+forward-looking use of the reproduction the paper's conclusion
+envisions ("facilitate the design of censorship-evading tools").
+
+Scenarios:
+  * baseline         — the policy the paper measured;
+  * tor-blackout     — the December-2012 state (all relays blocked);
+  * streaming-curfew — category × time-of-day blocking (evening);
+  * no-keywords      — the keyword engine removed (collateral-damage
+                       counterfactual).
+
+Run:  python examples/whatif_policies.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.overview import traffic_breakdown
+from repro.analysis.toranalysis import identify_tor_traffic, tor_overview
+from repro.reporting import render_table
+from repro.scenarios import (
+    build_custom_scenario,
+    no_keyword_filtering,
+    streaming_curfew,
+    tor_blackout,
+)
+from repro.workload.config import small_config
+
+
+def main() -> None:
+    config = small_config(40_000, seed=8)
+    print("Running four policies over identical traffic...")
+
+    scenarios = {
+        "baseline (2011)": build_custom_scenario(config),
+        "tor blackout (2012)": build_custom_scenario(config, tor_blackout),
+        "streaming curfew 18-23h": build_custom_scenario(
+            config, streaming_curfew(18, 23)
+        ),
+        "no keyword engine": build_custom_scenario(
+            config, no_keyword_filtering
+        ),
+    }
+
+    rows = []
+    for name, datasets in scenarios.items():
+        breakdown = traffic_breakdown(datasets.full)
+        tor = tor_overview(identify_tor_traffic(
+            datasets.full, datasets.generator.tor_directory
+        ))
+        rows.append([
+            name,
+            f"{breakdown.censored_pct:.2f}",
+            f"{breakdown.allowed_pct:.2f}",
+            f"{tor.censored_pct:.1f}",
+            len(tor.censored_by_proxy),
+        ])
+    print(render_table(
+        ["Policy", "Censored %", "Allowed %", "Tor censored %",
+         "Proxies censoring Tor"],
+        rows,
+        title="\nOutcomes under alternative policies",
+    ))
+
+    print("\nReadings:")
+    print(" * The Tor blackout multiplies Tor censorship while the rest "
+          "of the traffic is untouched — circumvention tooling should "
+          "expect relay blocking to arrive independently of web policy "
+          "changes (it did, in Dec 2012).")
+    print(" * The curfew shows how cheaply a DPI appliance turns "
+          "category data into time-targeted blocking.")
+    print(" * Removing the keyword engine roughly halves censored volume "
+          "— most of what the 2011 policy blocked was substring "
+          "collateral, exactly the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

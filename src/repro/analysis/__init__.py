@@ -1,0 +1,30 @@
+"""The paper's analysis pipeline — one module per section.
+
+Every function consumes :class:`~repro.frame.LogFrame` datasets (plus
+the substrate objects the paper's authors consulted externally: the
+GeoIP database, the URL categorizer, the Tor directory, the torrent
+title index) and returns a plain result object mirroring one table or
+figure of the paper.
+
+Section map:
+
+========================  ==========================================
+Module                    Paper content
+========================  ==========================================
+``analysis.common``       request classification masks, domain column
+``analysis.overview``     Section 4: Tables 1/3/4, Figs 1/2, HTTPS
+``analysis.categories``   Fig. 3 (censored-category distribution)
+``analysis.users``        Fig. 4 (user-level analysis)
+``analysis.temporal``     Section 5.1: Fig. 5/6, Table 5
+``analysis.proxies``      Section 5.2: Fig. 7, Table 6
+``analysis.redirects``    Section 5.3: Table 7
+``analysis.stringfilter`` Section 5.4: Tables 8/9/10 (recovery)
+``analysis.ipfilter``     Section 5.4: Tables 11/12
+``analysis.socialmedia``  Section 6: Tables 13/14/15
+``analysis.toranalysis``  Section 7.1: Figs 8/9
+``analysis.anonymizers``  Section 7.2: Fig. 10
+``analysis.p2p``          Section 7.3 (BitTorrent)
+``analysis.googlecache``  Section 7.4 (Google cache)
+``analysis.report``       full-report orchestration
+========================  ==========================================
+"""

@@ -1,0 +1,139 @@
+"""Per-domain drill-down.
+
+The tables aggregate; an investigator works domain by domain ("why is
+wikimedia.org in the censored list?", "which facebook URLs get
+through?").  :func:`domain_profile` assembles everything the logs say
+about one registered domain: outcome counts, the exception mix, the
+hosts underneath it, the most-blocked and most-allowed paths, and the
+per-day censored series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import (
+    censored_mask,
+    domain_column,
+    observed_allowed_mask,
+    percent,
+    proxied_mask,
+)
+from repro.frame import LogFrame
+from repro.timeline import epoch_day
+
+
+@dataclass(frozen=True)
+class PathStat:
+    """One path's outcome counts within a domain."""
+
+    path: str
+    censored: int
+    allowed: int
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """Everything the logs say about one registered domain."""
+
+    domain: str
+    requests: int
+    allowed: int
+    censored: int
+    proxied: int
+    errors: int
+    censored_pct: float
+    hosts: tuple[tuple[str, int], ...]  # (host, requests)
+    exceptions: tuple[tuple[str, int], ...]
+    top_censored_paths: tuple[PathStat, ...]
+    top_allowed_paths: tuple[PathStat, ...]
+    censored_by_day: tuple[tuple[str, int], ...]
+
+    @property
+    def fully_blocked(self) -> bool:
+        """No allowed request ever — Table 8's evidence standard."""
+        return self.allowed == 0 and self.censored > 0
+
+    @property
+    def mixed(self) -> bool:
+        """Both outcomes observed — the keyword-collateral signature."""
+        return self.allowed > 0 and self.censored > 0
+
+
+def domain_profile(
+    frame: LogFrame, domain: str, top_paths: int = 8
+) -> DomainProfile:
+    """Build the drill-down for one registered domain."""
+    domains = domain_column(frame)
+    of_domain = domains == domain
+    sub = frame.where(of_domain)
+    if len(sub) == 0:
+        return DomainProfile(
+            domain=domain, requests=0, allowed=0, censored=0, proxied=0,
+            errors=0, censored_pct=0.0, hosts=(), exceptions=(),
+            top_censored_paths=(), top_allowed_paths=(),
+            censored_by_day=(),
+        )
+
+    censored = censored_mask(sub)
+    allowed = observed_allowed_mask(sub)
+    proxied = proxied_mask(sub)
+    denied = sub.col("x_exception_id") != "-"
+    errors = denied & ~censored
+
+    hosts = tuple(
+        (str(host), int(count)) for host, count in sub.value_counts("cs_host")
+    )
+    exceptions = tuple(
+        (str(exc), int(count))
+        for exc, count in sub.where(denied).value_counts("x_exception_id")
+    ) if denied.any() else ()
+
+    def path_stats(mask: np.ndarray) -> tuple[PathStat, ...]:
+        selected = sub.where(mask)
+        if len(selected) == 0:
+            return ()
+        stats = []
+        paths = sub.col("cs_uri_path")
+        for path, count in selected.value_counts("cs_uri_path")[:top_paths]:
+            of_path = paths == path
+            stats.append(PathStat(
+                path=str(path),
+                censored=int((of_path & censored).sum()),
+                allowed=int((of_path & allowed).sum()),
+            ))
+        return tuple(stats)
+
+    days = (sub.col("epoch") // 86400 * 86400)
+    censored_days = days[censored]
+    day_values, day_counts = np.unique(censored_days, return_counts=True)
+    by_day = tuple(
+        (epoch_day(int(day)), int(count))
+        for day, count in zip(day_values, day_counts)
+    )
+
+    return DomainProfile(
+        domain=domain,
+        requests=len(sub),
+        allowed=int(allowed.sum()),
+        censored=int(censored.sum()),
+        proxied=int(proxied.sum()),
+        errors=int(errors.sum()),
+        censored_pct=percent(int(censored.sum()), len(sub)),
+        hosts=hosts,
+        exceptions=exceptions,
+        top_censored_paths=path_stats(censored),
+        top_allowed_paths=path_stats(allowed),
+        censored_by_day=by_day,
+    )
+
+
+def compare_domains(
+    frame: LogFrame, domains: list[str]
+) -> list[DomainProfile]:
+    """Profiles for several domains, sorted by censored volume."""
+    profiles = [domain_profile(frame, domain) for domain in domains]
+    profiles.sort(key=lambda p: (-p.censored, p.domain))
+    return profiles

@@ -1,0 +1,80 @@
+"""Section 7.4: Google cache as an accidental circumvention channel.
+
+Counts fetches through ``webcache.googleusercontent.com``, the rare
+censored ones (keyword in the cache URL), and — the paper's key
+observation — the allowed cache fetches whose *target* is an otherwise
+censored site.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import allowed_mask, censored_mask, percent
+from repro.frame import LogFrame
+from repro.net.url import registered_domain
+
+CACHE_HOST = "webcache.googleusercontent.com"
+
+_CACHE_TARGET_RE = re.compile(r"q=cache:[0-9a-zA-Z_-]+:([^/&?]+)")
+
+
+@dataclass(frozen=True)
+class GoogleCacheAnalysis:
+    """Section 7.4's numbers."""
+
+    requests: int
+    censored: int
+    allowed: int
+    #: Allowed cache fetches whose target domain is censored elsewhere.
+    censored_content_fetches: int
+    censored_targets: tuple[str, ...]
+
+
+def cache_targets(frame: LogFrame) -> list[str]:
+    """Target hosts of every cache fetch (parsed from the query)."""
+    mask = frame.col("cs_host") == CACHE_HOST
+    targets = []
+    for query in frame.col("cs_uri_query")[mask]:
+        match = _CACHE_TARGET_RE.search(query)
+        if match:
+            targets.append(match.group(1).lower())
+    return targets
+
+
+def google_cache_analysis(
+    frame: LogFrame,
+    censored_domains: frozenset[str] | set[str],
+) -> GoogleCacheAnalysis:
+    """Compute Section 7.4.
+
+    ``censored_domains`` is the set of domains known to be censored
+    elsewhere in the dataset (e.g. the Table 8 suspected list plus the
+    ``.il`` sites) — the paper checks cache fetches against it.
+    """
+    of_cache = frame.col("cs_host") == CACHE_HOST
+    censored = censored_mask(frame) & of_cache
+    allowed = allowed_mask(frame) & of_cache
+
+    censored_content = 0
+    hit_targets: set[str] = set()
+    queries = frame.col("cs_uri_query")
+    for i in np.flatnonzero(allowed):
+        match = _CACHE_TARGET_RE.search(queries[i])
+        if not match:
+            continue
+        target = match.group(1).lower()
+        domain = registered_domain(target)
+        if domain in censored_domains or target in censored_domains:
+            censored_content += 1
+            hit_targets.add(target)
+    return GoogleCacheAnalysis(
+        requests=int(of_cache.sum()),
+        censored=int(censored.sum()),
+        allowed=int(allowed.sum()),
+        censored_content_fetches=censored_content,
+        censored_targets=tuple(sorted(hit_targets)),
+    )

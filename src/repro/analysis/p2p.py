@@ -1,0 +1,97 @@
+"""Section 7.3: peer-to-peer networks (BitTorrent).
+
+Parses announce requests out of the traffic, counts users by
+``peer_id`` and contents by ``info_hash``, measures the censored
+share, and resolves info hashes to titles through the title database
+(the paper's torrentz.eu crawl), classifying circumvention- and
+IM-related content.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import censored_mask, percent
+from repro.bittorrent import TitleDatabase
+from repro.frame import LogFrame
+
+_INFO_HASH_RE = re.compile(r"info_hash=([0-9a-fA-F]{40})")
+_PEER_ID_RE = re.compile(r"peer_id=([^&]+)")
+
+#: Title substrings marking circumvention tools (the paper lists
+#: UltraSurf, HideMyAss, Auto Hide IP, anonymous browsers).
+_CIRCUMVENTION_MARKERS = (
+    "ultrasurf", "hidemyass", "auto hide ip", "anonymous browser",
+)
+_IM_MARKERS = ("skype", "msn messenger", "yahoo messenger")
+
+
+@dataclass(frozen=True)
+class BitTorrentAnalysis:
+    """Section 7.3's numbers."""
+
+    announce_requests: int
+    censored_announces: int
+    allowed_share_pct: float
+    unique_users: int
+    unique_contents: int
+    resolved_titles: int
+    resolve_rate_pct: float
+    circumvention_announces: int
+    im_software_announces: int
+    censored_tracker_hosts: tuple[str, ...]
+
+
+def bittorrent_analysis(
+    frame: LogFrame, titledb: TitleDatabase
+) -> BitTorrentAnalysis:
+    """Compute Section 7.3 over one dataset."""
+    paths = frame.col("cs_uri_path")
+    announce_mask = paths == "/announce"
+    announce = frame.where(announce_mask)
+    censored = censored_mask(announce)
+
+    queries = announce.col("cs_uri_query")
+    hashes: list[str] = []
+    peers: list[str] = []
+    for query in queries:
+        hash_match = _INFO_HASH_RE.search(query)
+        peer_match = _PEER_ID_RE.search(query)
+        hashes.append(hash_match.group(1).lower() if hash_match else "")
+        peers.append(peer_match.group(1) if peer_match else "")
+    hash_array = np.array(hashes, dtype=object)
+    peer_array = np.array(peers, dtype=object)
+
+    unique_hashes = sorted({h for h in hashes if h})
+    resolved, _unresolved = titledb.resolve_many(unique_hashes)
+
+    circumvention = 0
+    im_software = 0
+    for i, info_hash in enumerate(hash_array):
+        title = resolved.get(str(info_hash), "").lower()
+        if not title:
+            continue
+        if any(marker in title for marker in _CIRCUMVENTION_MARKERS):
+            circumvention += 1
+        elif any(marker in title for marker in _IM_MARKERS):
+            im_software += 1
+
+    censored_hosts = tuple(
+        sorted(set(announce.col("cs_host")[censored].tolist()))
+    )
+    total = len(announce)
+    return BitTorrentAnalysis(
+        announce_requests=total,
+        censored_announces=int(censored.sum()),
+        allowed_share_pct=percent(total - int(censored.sum()), max(total, 1)),
+        unique_users=len({p for p in peers if p}),
+        unique_contents=len(unique_hashes),
+        resolved_titles=len(resolved),
+        resolve_rate_pct=percent(len(resolved), max(len(unique_hashes), 1)),
+        circumvention_announces=circumvention,
+        im_software_announces=im_software,
+        censored_tracker_hosts=censored_hosts,
+    )

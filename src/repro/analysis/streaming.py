@@ -1,0 +1,126 @@
+"""Streaming (single-pass, constant-memory) log analysis.
+
+The real dataset was 600 GB — far beyond what loads into a frame.
+This module provides accumulator-style analyses that consume records
+one at a time: the Table 3 breakdown, per-domain Table 4 counters, and
+per-day volumes, with byte-bounded memory (a counter per distinct
+domain/exception, nothing per record).
+
+Use with the streaming reader::
+
+    acc = StreamingAnalysis()
+    for path in paths:
+        acc.consume(read_log(path, lenient=True))
+    print(acc.breakdown().censored_pct)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.analysis.common import percent
+from repro.logmodel.classify import CENSOR_EXCEPTIONS, NO_EXCEPTION
+from repro.logmodel.record import LogRecord
+from repro.net.url import registered_domain
+
+
+@dataclass(frozen=True)
+class StreamingBreakdown:
+    """Table 3 computed in one pass."""
+
+    total: int
+    allowed: int
+    censored: int
+    errors: int
+    proxied: int
+
+    @property
+    def allowed_pct(self) -> float:
+        """Allowed share (%)."""
+        return percent(self.allowed, self.total)
+
+    @property
+    def censored_pct(self) -> float:
+        """Censored share (%)."""
+        return percent(self.censored, self.total)
+
+
+class StreamingAnalysis:
+    """Single-pass accumulator over log records.
+
+    Tracks the headline classification counts, exception mix,
+    per-domain allowed/censored counters (Table 4), and per-day
+    volumes (Fig. 5's day-level view).  Memory is proportional to the
+    number of *distinct* domains/exceptions/days, never to the record
+    count.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.allowed = 0
+        self.censored = 0
+        self.errors = 0
+        self.proxied = 0
+        self.exceptions: Counter[str] = Counter()
+        self.allowed_domains: Counter[str] = Counter()
+        self.censored_domains: Counter[str] = Counter()
+        self.day_volumes: Counter[int] = Counter()
+
+    def add(self, record: LogRecord) -> None:
+        """Fold one record into the accumulators."""
+        self.total += 1
+        self.day_volumes[record.epoch // 86400] += 1
+        if record.sc_filter_result == "PROXIED":
+            self.proxied += 1
+        exception = record.x_exception_id
+        domain = registered_domain(record.cs_host)
+        if exception == NO_EXCEPTION:
+            self.allowed += 1
+            self.allowed_domains[domain] += 1
+            return
+        self.exceptions[exception] += 1
+        if exception in CENSOR_EXCEPTIONS:
+            self.censored += 1
+            self.censored_domains[domain] += 1
+        else:
+            self.errors += 1
+
+    def consume(self, records: Iterable[LogRecord]) -> "StreamingAnalysis":
+        """Fold a record stream; returns self for chaining."""
+        for record in records:
+            self.add(record)
+        return self
+
+    def breakdown(self) -> StreamingBreakdown:
+        """The Table 3 result so far."""
+        return StreamingBreakdown(
+            total=self.total,
+            allowed=self.allowed,
+            censored=self.censored,
+            errors=self.errors,
+            proxied=self.proxied,
+        )
+
+    def top_allowed(self, n: int = 10) -> list[tuple[str, int]]:
+        """Table 4's allowed column so far."""
+        return self.allowed_domains.most_common(n)
+
+    def top_censored(self, n: int = 10) -> list[tuple[str, int]]:
+        """Table 4's censored column so far."""
+        return self.censored_domains.most_common(n)
+
+    def merge(self, other: "StreamingAnalysis") -> "StreamingAnalysis":
+        """Combine two accumulators (e.g. one per log file, processed
+        in parallel); returns self."""
+        self.total += other.total
+        self.allowed += other.allowed
+        self.censored += other.censored
+        self.errors += other.errors
+        self.proxied += other.proxied
+        self.exceptions.update(other.exceptions)
+        self.allowed_domains.update(other.allowed_domains)
+        self.censored_domains.update(other.censored_domains)
+        self.day_volumes.update(other.day_volumes)
+        return self

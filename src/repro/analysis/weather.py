@@ -1,0 +1,101 @@
+"""Keyword censorship "weather report" (extension).
+
+The paper cites ConceptDoppler (Crandall et al., CCS 2007), which
+tracks *which keywords are filtered over time*.  The leaked logs make
+the same tracking possible retrospectively: this module builds a
+per-day (or per-window) report of keyword-triggered censorship,
+flagging keywords whose activity changes abruptly — the kind of
+monitoring the paper's Section 8 envisions for censorship-evasion
+tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import censored_mask
+from repro.frame import LogFrame
+from repro.timeline import epoch_day
+
+
+@dataclass(frozen=True)
+class KeywordWeather:
+    """Per-day keyword-censorship activity."""
+
+    keywords: tuple[str, ...]
+    days: tuple[str, ...]
+    #: counts[i][j] = censored requests matching keyword i on day j.
+    counts: np.ndarray
+    #: per-day total censored volume (for normalization).
+    censored_totals: np.ndarray
+
+    def series(self, keyword: str) -> list[tuple[str, int]]:
+        """The (day, count) series of one keyword."""
+        row = self.counts[self.keywords.index(keyword)]
+        return list(zip(self.days, (int(v) for v in row)))
+
+    def share_series(self, keyword: str) -> list[tuple[str, float]]:
+        """The keyword's share of each day's censored traffic."""
+        row = self.counts[self.keywords.index(keyword)]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            shares = np.where(
+                self.censored_totals > 0,
+                row / np.maximum(self.censored_totals, 1),
+                0.0,
+            )
+        return list(zip(self.days, (float(s) for s in shares)))
+
+    def anomalies(self, factor: float = 2.5) -> list[tuple[str, str, float]]:
+        """Days where a keyword's share jumps above ``factor`` × its
+        own median share — candidate policy changes or demand surges.
+
+        Returns (keyword, day, share/median ratio) triples.
+        """
+        flagged = []
+        for keyword in self.keywords:
+            shares = np.array([s for _, s in self.share_series(keyword)])
+            positive = shares[shares > 0]
+            if len(positive) < 2:
+                continue
+            median = float(np.median(positive))
+            if median <= 0:
+                continue
+            for day, share in zip(self.days, shares):
+                if share > factor * median:
+                    flagged.append((keyword, day, float(share / median)))
+        return flagged
+
+
+def keyword_weather(
+    frame: LogFrame, keywords: tuple[str, ...]
+) -> KeywordWeather:
+    """Build the per-day keyword report over one dataset."""
+    censored = censored_mask(frame)
+    epochs = frame.col("epoch")
+    day_keys = epochs // 86400
+    unique_days = np.unique(day_keys)
+    day_labels = tuple(epoch_day(int(d * 86400)) for d in unique_days)
+    day_index = {d: i for i, d in enumerate(unique_days)}
+
+    counts = np.zeros((len(keywords), len(unique_days)), dtype=np.int64)
+    censored_totals = np.zeros(len(unique_days), dtype=np.int64)
+
+    hosts = frame.col("cs_host")
+    paths = frame.col("cs_uri_path")
+    queries = frame.col("cs_uri_query")
+    for i in np.flatnonzero(censored):
+        j = day_index[day_keys[i]]
+        censored_totals[j] += 1
+        text = f"{hosts[i]}{paths[i]}?{queries[i]}".lower()
+        for k, keyword in enumerate(keywords):
+            if keyword in text:
+                counts[k][j] += 1
+                break
+    return KeywordWeather(
+        keywords=tuple(keywords),
+        days=day_labels,
+        counts=counts,
+        censored_totals=censored_totals,
+    )

@@ -1,0 +1,13 @@
+"""BitTorrent substrate (Section 7.3 of the paper).
+
+Models the pieces the paper's peer-to-peer analysis needs: tracker
+hosts with HTTP announce endpoints, a torrent-content catalog (info
+hashes, peer ids, titles), and a title-resolution database standing in
+for the paper's torrentz.eu / torrentproject.com crawl (which resolved
+77.4 % of the observed info hashes).
+"""
+
+from repro.bittorrent.catalog import TorrentCatalog, TorrentContent, TRACKERS
+from repro.bittorrent.titledb import TitleDatabase
+
+__all__ = ["TorrentCatalog", "TorrentContent", "TRACKERS", "TitleDatabase"]

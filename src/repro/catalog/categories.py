@@ -1,0 +1,51 @@
+"""URL category vocabulary.
+
+Mirrors the McAfee TrustedSource categories that appear in the paper's
+Fig. 3 and Table 9, plus the handful of extra categories the domain
+universe needs.
+"""
+
+from __future__ import annotations
+
+
+class Category:
+    """String constants for URL categories (kept as plain strings so
+    they serialize directly into frames and reports)."""
+
+    CONTENT_SERVER = "Content Server"
+    STREAMING_MEDIA = "Streaming Media"
+    INSTANT_MESSAGING = "Instant Messaging"
+    PORTAL_SITES = "Portal Sites"
+    GENERAL_NEWS = "General News"
+    SOCIAL_NETWORKING = "Social Networking"
+    GAMES = "Games"
+    EDUCATION_REFERENCE = "Education/Reference"
+    ONLINE_SHOPPING = "Online Shopping"
+    INTERNET_SERVICES = "Internet Services"
+    ENTERTAINMENT = "Entertainment"
+    FORUM = "Forum/Bulletin Boards"
+    ANONYMIZER = "Anonymizer"
+    SEARCH_ENGINES = "Search Engines"
+    SOFTWARE_HARDWARE = "Software/Hardware"
+    WEB_ADS = "Web Ads"
+    PORNOGRAPHY = "Pornography"
+    P2P = "P2P/File Sharing"
+    TECHNICAL = "Technical Information"
+    TRAVEL = "Travel"
+    RELIGION = "Religion"
+    NA = "NA"
+
+    #: Categories eligible for the synthetic suspected-domain pool,
+    #: with the domain counts of the paper's Table 9 as weights.
+    SUSPECTED_POOL = (
+        (GENERAL_NEWS, 62),
+        (NA, 20),
+        (FORUM, 8),
+        (STREAMING_MEDIA, 6),
+        (INTERNET_SERVICES, 6),
+        (SOCIAL_NETWORKING, 6),
+        (ENTERTAINMENT, 4),
+        (EDUCATION_REFERENCE, 4),
+        (ONLINE_SHOPPING, 2),
+        (INSTANT_MESSAGING, 2),
+    )

@@ -1,0 +1,88 @@
+"""Facebook page inventory (Section 6, Table 14 of the paper).
+
+The Syrian policy singles out a handful of political Facebook pages
+through a *custom category* ("Blocked sites"): requests matching a very
+narrow set of path+query combinations are categorized into it and
+redirected (``policy_redirect``).  Requests to the same pages with
+extra query parameters (AJAX pipelines etc.) escape the category and
+are allowed — the paper highlights this narrowness explicitly.
+
+``BLOCKED_PAGES`` carries the per-page visit mix calibrated from the
+paper's censored/allowed counts; ``ALLOWED_PAGES`` are the related
+pages the paper verified were *not* categorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FacebookPage:
+    """One page plus its visit profile.
+
+    ``weight`` is proportional to total visits; ``blocked_share`` is the
+    fraction of visits using a query form the custom category matches.
+    """
+
+    name: str
+    weight: float
+    blocked_share: float
+
+
+def _page(name: str, censored: int, allowed: int) -> FacebookPage:
+    total = censored + allowed
+    share = censored / total if total else 1.0
+    return FacebookPage(name, float(max(total, 1)), share)
+
+
+# Calibrated from Table 14 (censored, allowed counts in D_full).
+BLOCKED_PAGES: tuple[FacebookPage, ...] = (
+    _page("Syrian.Revolution", 1461, 891),
+    _page("syria.news.F.N.N", 191, 165),
+    _page("ShaamNews", 114, 3944),
+    _page("fffm14", 42, 18),
+    _page("barada.channel", 25, 9),
+    _page("DaysOfRage", 19, 2),
+    _page("Syrian.R.V", 10, 6),
+    _page("YouthFreeSyria", 6, 0),
+    _page("sooryoon", 3, 0),
+    _page("Freedom.Of.Syria", 3, 0),
+    _page("SyrianDayOfRage", 1, 0),
+    # Lower-case variant: a distinct page name in the logs, almost all
+    # of whose requests were served from cache in the leak.
+    FacebookPage("Syrian.revolution", 25.0, 1.0),
+)
+
+# Pages the paper confirms are NOT in the custom category.
+ALLOWED_PAGES: tuple[FacebookPage, ...] = (
+    FacebookPage("Syrian.Revolution.Army", 60.0, 0.0),
+    FacebookPage("Syrian.Revolution.Assad", 45.0, 0.0),
+    FacebookPage("Syrian.Revolution.Caricature", 30.0, 0.0),
+    FacebookPage("ShaamNewsNetwork", 150.0, 0.0),
+)
+
+ALL_PAGES: tuple[FacebookPage, ...] = BLOCKED_PAGES + ALLOWED_PAGES
+
+#: Page names targeted by the custom category (policy ground truth).
+CUSTOM_CATEGORY_PAGES: frozenset[str] = frozenset(
+    page.name for page in BLOCKED_PAGES
+)
+
+#: Query forms the custom category matches.  Anything else — e.g. the
+#: ``ajaxpipe`` form the paper quotes — escapes categorization.
+BLOCKED_QUERY_FORMS: tuple[str, ...] = ("", "ref=ts", "sk=wall")
+
+#: A query form that visits the same page but escapes the category.
+ESCAPING_QUERY_FORM = "ref=ts&__a=11&ajaxpipe=1&quickling[version]=414343%3B0"
+
+#: Share of facebook.com traffic that is page visits (the page-visit
+#: volume in Table 14 is a few thousand requests against 19.4 M
+#: facebook requests in D_full).
+PAGE_VISIT_SHARE = 0.00045
+
+#: Hosts on which page visits happen, with sampling weights.
+PAGE_HOSTS: tuple[tuple[str, float], ...] = (
+    ("www.facebook.com", 0.85),
+    ("ar-ar.facebook.com", 0.15),
+)

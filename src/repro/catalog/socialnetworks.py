@@ -1,0 +1,43 @@
+"""The social-network watchlist of Section 6.
+
+The paper selects the top-25 social networks by Alexa rank (Nov 2013)
+plus three networks popular in Arabic-speaking countries (netlog,
+salamworld, muslimup), and tabulates allowed/censored/proxied request
+counts per registered domain (Table 13).
+"""
+
+from __future__ import annotations
+
+#: Registered domains of the 28 watched social networks.
+OSN_WATCHLIST: tuple[str, ...] = (
+    "facebook.com",
+    "twitter.com",
+    "linkedin.com",
+    "pinterest.com",
+    "myspace.com",
+    "plus.google.com",  # tracked as a host: google.com would swallow it
+    "deviantart.com",
+    "livejournal.com",
+    "tagged.com",
+    "orkut.com",
+    "cafemom.com",
+    "ning.com",
+    "meetup.com",
+    "mylife.com",
+    "badoo.com",
+    "hi5.com",
+    "flickr.com",
+    "skyrock.com",
+    "vk.com",
+    "odnoklassniki.ru",
+    "renren.com",
+    "weibo.com",
+    "tumblr.com",
+    "instagram.com",
+    "last.fm",
+    "netlog.com",
+    "salamworld.com",
+    "muslimup.com",
+)
+
+assert len(OSN_WATCHLIST) == 28

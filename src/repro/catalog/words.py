@@ -1,0 +1,53 @@
+"""Word stems used to synthesize URLs and domain names.
+
+Deliberately neutral vocabulary: the simulator needs plausible-looking
+tokens for search queries, video slugs and synthetic domain names, not
+real content.
+"""
+
+from __future__ import annotations
+
+# Tokens used to fill {word} placeholders in URL templates.
+QUERY_WORDS: tuple[str, ...] = (
+    "weather", "football", "recipes", "music", "movies", "news", "jobs",
+    "travel", "hotels", "cars", "phones", "games", "books", "health",
+    "fashion", "education", "history", "science", "translate", "dictionary",
+    "currency", "gold", "streaming", "series", "episodes", "lyrics",
+    "ringtones", "wallpaper", "download", "software", "drivers", "antivirus",
+    "browser", "email", "chat", "messenger", "video", "photos", "maps",
+    "directions", "restaurants", "shopping", "electronics", "laptop",
+    "camera", "university", "exam", "results", "league", "match",
+)
+
+# Stems for synthetic suspected (blocked) domains: news/forum flavoured.
+SUSPECTED_STEMS: tuple[str, ...] = (
+    "levantnews", "damascusvoice", "sham-press", "orienttimes", "al-akhbar",
+    "freedomword", "revolt-daily", "souria-post", "midan-news", "qalam",
+    "al-balad", "hurriya", "watan-online", "al-manbar", "tahrir-news",
+    "sawt-albalad", "al-fajr", "karama-press", "al-maydan", "shams-news",
+    "al-taghyir", "horan-today", "al-wahda", "barada-news", "nahda-media",
+)
+
+SUSPECTED_TLDS: tuple[str, ...] = ("com", "net", "org", "info", "cc", "tv")
+
+# Stems for the long-tail domain population (never censored).
+TAIL_STEMS: tuple[str, ...] = (
+    "portal", "bazaar", "media", "online", "planet", "express", "central",
+    "store", "market", "city", "zone", "hub", "point", "world", "plus",
+    "star", "gate", "land", "spot", "line", "net", "web", "digital",
+    "daily", "live", "life", "home", "kids", "tech", "auto", "sport",
+)
+
+TAIL_TLDS: tuple[str, ...] = ("com", "net", "org", "info")
+
+# Stems for synthetic anonymizer services (Section 7.2).
+ANONYMIZER_CLEAN_STEMS: tuple[str, ...] = (
+    "tunnel", "shield", "cloak", "veil", "mask", "ghost", "stealth",
+    "hidden", "escape", "bypass", "gate", "freedom", "liberty", "open",
+    "breeze", "rocket", "falcon", "mirage",
+)
+
+ANONYMIZER_PROXY_STEMS: tuple[str, ...] = (
+    "fastproxy", "proxyweb", "kproxy-mirror", "proxylist", "myproxy",
+    "proxyhub", "goproxy", "proxyland", "sockproxy", "freeproxy",
+)

@@ -1,0 +1,13 @@
+"""URL categorization substrate (McAfee TrustedSource stand-in).
+
+The paper uses McAfee's TrustedSource to characterize censored websites
+(Fig. 3, Table 9) because the proxies' own category database was absent.
+This package provides the equivalent offline tool: a URL-aware
+categorizer built from the site universe, with path-level overrides
+(e.g. Facebook social-plugin endpoints categorize as "Content Server",
+matching how infrastructure URLs are categorized in practice).
+"""
+
+from repro.categorizer.trustedsource import TrustedSourceCategorizer
+
+__all__ = ["TrustedSourceCategorizer"]

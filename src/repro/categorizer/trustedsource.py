@@ -1,0 +1,108 @@
+"""The URL categorizer."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.catalog.categories import Category as C
+from repro.catalog.domains import SiteSpec
+from repro.net.url import is_ip_like, registered_domain
+
+# Path prefixes that re-categorize a URL regardless of the host's own
+# category: plugin/infrastructure endpoints read as content-serving
+# infrastructure to a URL categorizer.
+_PATH_OVERRIDES: tuple[tuple[str, str], ...] = (
+    ("/plugins/", C.CONTENT_SERVER),
+    ("/extern/", C.CONTENT_SERVER),
+    ("/fbml/", C.CONTENT_SERVER),
+    ("/connect/", C.CONTENT_SERVER),
+    ("/platform/", C.CONTENT_SERVER),
+    ("/ajax/proxy.php", C.CONTENT_SERVER),
+    ("/gadgets/proxy", C.CONTENT_SERVER),
+)
+
+# Hostname heuristics for hosts absent from the database.
+_HOST_HINTS: tuple[tuple[str, str], ...] = (
+    ("cdn", C.CONTENT_SERVER),
+    ("static", C.CONTENT_SERVER),
+    ("img", C.CONTENT_SERVER),
+    ("cache", C.CONTENT_SERVER),
+    ("tracker", C.P2P),
+    ("torrent", C.P2P),
+    ("ads", C.WEB_ADS),
+    ("news", C.GENERAL_NEWS),
+    ("forum", C.FORUM),
+    ("proxy", C.ANONYMIZER),
+    ("vpn", C.ANONYMIZER),
+    ("tunnel", C.ANONYMIZER),
+    ("mail", C.INTERNET_SERVICES),
+    ("games", C.GAMES),
+)
+
+
+class TrustedSourceCategorizer:
+    """URL → category lookup.
+
+    Built from the site universe (exact-host entries) plus a registered
+    -domain fallback, path-level overrides, hostname heuristics, and an
+    optional table of IP-address entries (used to categorize hosts that
+    are raw addresses, e.g. anonymizer endpoints).
+    """
+
+    def __init__(
+        self,
+        sites: Iterable[SiteSpec] = (),
+        ip_entries: dict[str, str] | None = None,
+    ):
+        self._by_host: dict[str, str] = {}
+        self._by_domain: dict[str, str] = {}
+        for site in sites:
+            self._by_host[site.host] = site.category
+            domain = registered_domain(site.host)
+            # First registration wins: named sites precede synthetics,
+            # and a domain's flagship host defines its category.
+            self._by_domain.setdefault(domain, site.category)
+        self._ip_entries = dict(ip_entries or {})
+
+    def add_host(self, host: str, category: str) -> None:
+        """Register an extra host (or IP) entry."""
+        if is_ip_like(host):
+            self._ip_entries[host] = category
+        else:
+            self._by_host[host] = category
+            self._by_domain.setdefault(registered_domain(host), category)
+
+    def categorize(self, host: str, path: str = "") -> str:
+        """Categorize a URL.
+
+        Path overrides are applied first (plugin endpoints), then exact
+        host, then registered domain, then hostname heuristics; raw IP
+        hosts consult the IP table.  Unknown URLs map to ``"NA"``.
+        """
+        for prefix, category in _PATH_OVERRIDES:
+            if path.startswith(prefix):
+                return category
+        if is_ip_like(host):
+            return self._ip_entries.get(host, C.NA)
+        if host in self._by_host:
+            return self._by_host[host]
+        domain = registered_domain(host)
+        if domain in self._by_domain:
+            return self._by_domain[domain]
+        lowered = host.lower()
+        for token, category in _HOST_HINTS:
+            if token in lowered:
+                return category
+        return C.NA
+
+    def categorize_domain(self, domain: str) -> str:
+        """Categorize a registered domain (Table 9's unit of analysis)."""
+        if is_ip_like(domain):
+            return self._ip_entries.get(domain, C.NA)
+        if domain in self._by_domain:
+            return self._by_domain[domain]
+        return self.categorize(domain)
+
+    def is_anonymizer(self, host: str) -> bool:
+        """Convenience predicate used by the Section 7.2 analysis."""
+        return self.categorize(host) == C.ANONYMIZER

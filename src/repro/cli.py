@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Four subcommands cover the simulate → analyze loop:
+
+``repro simulate``
+    Generate a scenario and write its logs in the leaked ELFF/CSV
+    format (one file per proxy, like the Telecomix release, or one
+    combined file).
+
+``repro analyze``
+    Load ELFF logs and print the headline statistics and top domains.
+
+``repro recover``
+    Run the Section 5.4 policy recovery on ELFF logs: suspected
+    domains, blocked hosts, keywords.
+
+``repro report``
+    Simulate and run the complete paper pipeline, printing the
+    condensed report (equivalent to examples/censorship_report.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Censorship in the Wild' (IMC 2014)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="generate a scenario and write ELFF logs"
+    )
+    simulate.add_argument("--requests", type=int, default=50_000,
+                          help="total request volume (default 50000)")
+    simulate.add_argument("--seed", type=int, default=2011)
+    simulate.add_argument("--out", type=Path, required=True,
+                          help="output directory for the log files")
+    simulate.add_argument("--per-proxy", action="store_true",
+                          help="one file per proxy (like the leak)")
+    simulate.add_argument("--per-day", action="store_true",
+                          help="split files further by log day")
+    simulate.add_argument("--boosts", action="store_true",
+                          help="oversample rare traffic components")
+
+    analyze = commands.add_parser(
+        "analyze", help="summarize ELFF logs (Tables 3 and 4)"
+    )
+    analyze.add_argument("logs", type=Path, nargs="+",
+                         help="ELFF/CSV log files")
+    analyze.add_argument("--top", type=int, default=10)
+    analyze.add_argument("--streaming", action="store_true",
+                         help="single-pass constant-memory analysis "
+                              "(for logs too large to load)")
+
+    recover = commands.add_parser(
+        "recover", help="recover the filtering policy from ELFF logs"
+    )
+    recover.add_argument("logs", type=Path, nargs="+")
+    recover.add_argument("--min-censored", type=int, default=3)
+
+    report = commands.add_parser(
+        "report", help="simulate and run the full paper pipeline"
+    )
+    report.add_argument("--requests", type=int, default=100_000)
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--markdown", type=Path, default=None,
+                        help="also write the report as a Markdown file")
+    return parser
+
+
+def _load_frames(paths: list[Path]):
+    from repro.frame import concat, frame_from_records
+    from repro.logmodel.elff import read_log
+
+    frames = []
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"error: no such log file: {path}")
+        frames.append(frame_from_records(read_log(path)))
+    return concat(frames) if len(frames) > 1 else frames[0]
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.datasets import build_scenario
+    from repro.logmodel.elff import write_log
+    from repro.logmodel.record import LogRecord
+    from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+    config = ScenarioConfig(
+        total_requests=args.requests,
+        seed=args.seed,
+        boosts=dict(DEFAULT_BOOSTS) if args.boosts else {},
+    )
+    print(f"simulating {args.requests:,} requests (seed {args.seed})...")
+    datasets = build_scenario(config)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    frame = datasets.full
+    records = []
+    for i in range(len(frame)):
+        row = frame.row(i)
+        records.append(LogRecord(
+            epoch=int(row["epoch"]),
+            c_ip=str(row["c_ip"]),
+            s_ip=str(row["s_ip"]),
+            cs_host=str(row["cs_host"]),
+            cs_uri_scheme=str(row["cs_uri_scheme"]),
+            cs_uri_port=int(row["cs_uri_port"]),
+            cs_uri_path=str(row["cs_uri_path"]),
+            cs_uri_query=str(row["cs_uri_query"]),
+            cs_uri_ext=str(row["cs_uri_ext"]),
+            cs_method=str(row["cs_method"]),
+            cs_user_agent=str(row["cs_user_agent"]),
+            sc_filter_result=str(row["sc_filter_result"]),
+            x_exception_id=str(row["x_exception_id"]),
+            cs_categories=str(row["cs_categories"]),
+            sc_status=int(row["sc_status"]),
+            s_action=str(row["s_action"]),
+        ))
+    if args.per_proxy or args.per_day:
+        from repro.timeline import epoch_day
+
+        grouped: dict[str, list] = {}
+        for record in records:
+            parts = []
+            if args.per_proxy:
+                parts.append(f"sg-{record.s_ip.rsplit('.', 1)[-1]}")
+            if args.per_day:
+                parts.append(epoch_day(record.epoch))
+            grouped.setdefault("_".join(parts), []).append(record)
+        for stem, group_records in sorted(grouped.items()):
+            path = args.out / f"{stem}.log"
+            count = write_log(group_records, path)
+            print(f"  wrote {count:>8,} records -> {path}")
+    else:
+        path = args.out / "proxies.log"
+        count = write_log(records, path)
+        print(f"  wrote {count:,} records -> {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.overview import top_domains, traffic_breakdown
+    from repro.reporting import render_table
+
+    if args.streaming:
+        return _analyze_streaming(args)
+    frame = _load_frames(args.logs)
+    breakdown = traffic_breakdown(frame)
+    print(render_table(
+        ["Class", "Requests", "%"],
+        [
+            ["allowed", breakdown.allowed, f"{breakdown.allowed_pct:.2f}"],
+            ["censored", breakdown.censored, f"{breakdown.censored_pct:.2f}"],
+            ["errors", breakdown.errors,
+             f"{breakdown.denied_pct - breakdown.censored_pct:.2f}"],
+            ["proxied", breakdown.proxied, f"{breakdown.proxied_pct:.2f}"],
+        ],
+        title=f"Traffic breakdown ({breakdown.total:,} requests)",
+    ))
+    domains = top_domains(frame, n=args.top)
+    print(render_table(
+        ["Allowed domain", "%", "Censored domain", "%"],
+        [
+            [
+                a.domain if a else "-", f"{a.share_pct:.2f}" if a else "-",
+                c.domain if c else "-", f"{c.share_pct:.2f}" if c else "-",
+            ]
+            for a, c in _zip_longest(domains.allowed, domains.censored)
+        ],
+        title="\nTop domains",
+    ))
+    return 0
+
+
+def _zip_longest(a, b):
+    from itertools import zip_longest
+
+    return zip_longest(a, b, fillvalue=None)
+
+
+def _analyze_streaming(args: argparse.Namespace) -> int:
+    from repro.analysis.streaming import StreamingAnalysis
+    from repro.logmodel.elff import read_log
+    from repro.reporting import render_table
+
+    acc = StreamingAnalysis()
+    for path in args.logs:
+        if not path.exists():
+            raise SystemExit(f"error: no such log file: {path}")
+        acc.consume(read_log(path, lenient=True))
+    breakdown = acc.breakdown()
+    print(render_table(
+        ["Class", "Requests", "%"],
+        [
+            ["allowed", breakdown.allowed, f"{breakdown.allowed_pct:.2f}"],
+            ["censored", breakdown.censored, f"{breakdown.censored_pct:.2f}"],
+            ["errors", breakdown.errors, ""],
+            ["proxied", breakdown.proxied, ""],
+        ],
+        title=f"Traffic breakdown ({breakdown.total:,} requests, streaming)",
+    ))
+    print(render_table(
+        ["Censored domain", "Requests"],
+        [[domain, count] for domain, count in acc.top_censored(args.top)],
+        title="\nTop censored domains",
+    ))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.analysis.stringfilter import (
+        recover_censored_domains,
+        recover_censored_hosts,
+        recover_keywords,
+    )
+    from repro.reporting import render_table
+
+    frame = _load_frames(args.logs)
+    suspected = recover_censored_domains(frame, min_censored=args.min_censored)
+    print(render_table(
+        ["Suspected domain", "Censored", "% of censored"],
+        [[row.domain, row.censored, f"{row.censored_share_pct:.2f}"]
+         for row in suspected[:20]],
+        title=f"URL-blocked domains ({len(suspected)} recovered)",
+    ))
+    exclusion = {
+        row.domain for row in recover_censored_domains(frame, min_censored=1)
+    }
+    hosts = recover_censored_hosts(frame, exclude_domains=exclusion,
+                                   min_censored=1)
+    if hosts:
+        print(render_table(
+            ["Blocked host", "Censored"],
+            [[row.host, row.censored] for row in hosts[:10]],
+            title="\nIndividually blocked hosts",
+        ))
+    keywords = recover_keywords(
+        frame,
+        exclude_domains=exclusion,
+        exclude_hosts={row.host for row in hosts},
+    )
+    print(render_table(
+        ["Keyword", "Coverage"],
+        [[k.keyword, k.coverage] for k in keywords],
+        title="\nRecovered keyword blacklist",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+    from repro.datasets import build_scenario
+    from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+    print(f"simulating {args.requests:,} requests and running the full "
+          "pipeline...")
+    datasets = build_scenario(ScenarioConfig(
+        total_requests=args.requests, seed=args.seed,
+        boosts=dict(DEFAULT_BOOSTS),
+    ))
+    report = build_report(datasets)
+    full = report.table3["full"]
+    print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")
+    print("top censored:", [r.domain for r in report.table4.censored[:5]])
+    print("recovered keywords:",
+          [k.keyword for k in report.recovered_keywords])
+    print("suspected domains:", len(report.table8))
+    if args.markdown is not None:
+        from repro.reporting.markdown import report_to_markdown
+
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(report_to_markdown(
+            report,
+            title=f"Censorship report — {args.requests:,} requests, "
+                  f"seed {args.seed}",
+        ))
+        print(f"markdown report -> {args.markdown}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "recover": _cmd_recover,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

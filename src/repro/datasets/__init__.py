@@ -1,0 +1,16 @@
+"""Dataset construction (Section 3.3 of the paper).
+
+Builds the four datasets the paper analyzes from one simulated
+scenario:
+
+* ``D_full`` — every log record;
+* ``D_sample`` — a 4 % uniform random sample of D_full;
+* ``D_user`` — the July 22–23 slice, whose client addresses the
+  release hashed instead of zeroing;
+* ``D_denied`` — all records with a non-dash exception id.
+"""
+
+from repro.datasets.builder import ScenarioDatasets, build_scenario
+from repro.datasets.sampling import proportion_confidence_interval
+
+__all__ = ["ScenarioDatasets", "build_scenario", "proportion_confidence_interval"]

@@ -1,0 +1,122 @@
+"""End-to-end scenario build: traffic → policy → fleet → datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.categories import Category
+from repro.categorizer import TrustedSourceCategorizer
+from repro.frame import LogFrame, frame_from_records
+from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
+from repro.logmodel.record import LogRecord
+from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.proxy import ProxyFleet
+from repro.timeline import USER_SLICE_DAYS, day_span
+from repro.workload import ScenarioConfig, TrafficGenerator
+
+DEFAULT_SAMPLE_FRACTION = 0.04
+
+
+@dataclass
+class ScenarioDatasets:
+    """The four analysis datasets plus the scenario's ground truth."""
+
+    full: LogFrame
+    sample: LogFrame
+    user: LogFrame
+    denied: LogFrame
+    config: ScenarioConfig
+    policy: SyrianPolicy
+    generator: TrafficGenerator
+    categorizer: TrustedSourceCategorizer
+    sample_fraction: float = DEFAULT_SAMPLE_FRACTION
+    records_by_day: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, int]:
+        """Dataset sizes, mirroring the paper's Table 1."""
+        return {
+            "full": len(self.full),
+            "sample": len(self.sample),
+            "user": len(self.user),
+            "denied": len(self.denied),
+        }
+
+
+def _build_categorizer(generator: TrafficGenerator) -> TrustedSourceCategorizer:
+    categorizer = TrustedSourceCategorizer(generator.sites)
+    # Anonymizer endpoints addressed by raw IP categorize as
+    # "Anonymizer" — the check the paper runs on censored addresses.
+    for address in generator.blocked_anonymizer_addresses():
+        categorizer.add_host(address, Category.ANONYMIZER)
+    # The paper finds exactly one censored Israeli address categorized
+    # as an Anonymizer host (Section 5.4).
+    for pool in generator.address_pools:
+        if pool.name == "il-84.229.0.0/16":
+            categorizer.add_host(pool.addresses[0], Category.ANONYMIZER)
+            break
+    return categorizer
+
+
+def _anonymize(records: list[LogRecord], user_spans: list[tuple[int, int]]) -> None:
+    """Apply the Telecomix release treatment to client addresses."""
+    for record in records:
+        in_user_slice = any(
+            start <= record.epoch < end for start, end in user_spans
+        )
+        if in_user_slice:
+            record.c_ip = hash_client_ip(record.c_ip)
+        else:
+            record.c_ip = zero_client_ip(record.c_ip)
+
+
+def build_scenario(
+    config: ScenarioConfig | None = None,
+    sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
+) -> ScenarioDatasets:
+    """Simulate a scenario and assemble its four datasets.
+
+    Deterministic for a given config (all randomness flows from
+    ``config.seed``).
+    """
+    config = config or ScenarioConfig()
+    generator = TrafficGenerator(config)
+    policy = build_syrian_policy(
+        generator.sites,
+        tor_directory=generator.tor_directory,
+        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+    )
+    fleet = ProxyFleet(policy)
+
+    rng = np.random.default_rng(config.seed + 1000)
+    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
+    all_records: list[LogRecord] = []
+    records_by_day: dict[str, int] = {}
+    for day, requests in generator.generate():
+        day_records = [fleet.process(request, rng) for request in requests]
+        _anonymize(day_records, user_spans)
+        records_by_day[day] = len(day_records)
+        all_records.extend(day_records)
+
+    full = frame_from_records(all_records)
+    sample = full.sample(sample_fraction, rng)
+    user_mask = np.zeros(len(full), dtype=bool)
+    epochs = full.col("epoch")
+    for start, end in user_spans:
+        user_mask |= (epochs >= start) & (epochs < end)
+    user = full.where(user_mask)
+    denied = full.where(full.col("x_exception_id") != "-")
+
+    return ScenarioDatasets(
+        full=full,
+        sample=sample,
+        user=user,
+        denied=denied,
+        config=config,
+        policy=policy,
+        generator=generator,
+        categorizer=_build_categorizer(generator),
+        sample_fraction=sample_fraction,
+        records_by_day=records_by_day,
+    )

@@ -1,0 +1,24 @@
+"""A small numpy-backed columnar engine.
+
+pandas is the natural tool for the paper's analysis but is not
+available in this environment, so this package provides the minimal
+columnar engine the analyses need: typed columns, boolean-mask
+filtering, value counts, group-bys with count/sum/nunique aggregates,
+and CSV round-tripping of log files.
+
+The central type is :class:`LogFrame`; :func:`frame_from_records`
+builds one from :class:`~repro.logmodel.record.LogRecord` batches.
+"""
+
+from repro.frame.groupby import GroupBy
+from repro.frame.io import frame_from_records, read_frame_csv, write_frame_csv
+from repro.frame.logframe import LogFrame, concat
+
+__all__ = [
+    "LogFrame",
+    "GroupBy",
+    "concat",
+    "frame_from_records",
+    "read_frame_csv",
+    "write_frame_csv",
+]

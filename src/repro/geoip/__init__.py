@@ -1,0 +1,14 @@
+"""Synthetic IPv4 geolocation substrate.
+
+The paper geolocates destination IP addresses with the Maxmind GeoIP
+country database (Table 11) and uses a published list of Israeli
+subnets (Table 12).  Neither resource is available offline, so this
+package provides a synthetic registry: country-level CIDR allocations
+(including the exact Israeli subnets the paper reports) compiled into
+an interval database with vectorized longest-prefix lookup.
+"""
+
+from repro.geoip.builtin import ISRAELI_SUBNETS, builtin_registry
+from repro.geoip.database import GeoIPDatabase
+
+__all__ = ["GeoIPDatabase", "builtin_registry", "ISRAELI_SUBNETS"]

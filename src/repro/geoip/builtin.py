@@ -1,0 +1,93 @@
+"""Built-in synthetic registry of country allocations.
+
+The Israeli subnets are the exact blocks the paper reports in
+Table 12; the remaining allocations are synthetic blocks for every
+country appearing in Table 11 plus common hosting countries, chosen
+from address space that does not collide with the Israeli blocks or
+with the proxy/ client ranges the simulator uses.
+"""
+
+from __future__ import annotations
+
+from repro.geoip.database import GeoIPDatabase
+from repro.net.ip import IPv4Network, parse_network
+
+# Table 12 of the paper: the top censored Israeli subnets.
+ISRAELI_SUBNETS: tuple[IPv4Network, ...] = (
+    parse_network("84.229.0.0/16"),
+    parse_network("46.120.0.0/15"),
+    parse_network("89.138.0.0/15"),
+    parse_network("212.235.64.0/19"),
+    parse_network("212.150.0.0/16"),
+)
+
+# Synthetic allocations for countries the analyses need.  Country codes
+# are ISO 3166-1 alpha-2; Table 11 reports Israel, Kuwait, Russia, UK,
+# Netherlands, Singapore and Bulgaria, and we add the usual hosting
+# countries so that the D_IPv4 population is realistic.
+_SYNTHETIC_ALLOCATIONS: tuple[tuple[str, str], ...] = (
+    ("IL", "84.229.0.0/16"),
+    ("IL", "46.120.0.0/15"),
+    ("IL", "89.138.0.0/15"),
+    ("IL", "212.235.64.0/19"),
+    ("IL", "212.150.0.0/16"),
+    ("IL", "79.176.0.0/13"),
+    ("IL", "109.64.0.0/13"),
+    ("KW", "168.187.0.0/16"),
+    ("RU", "95.24.0.0/13"),
+    ("RU", "178.64.0.0/11"),
+    ("GB", "81.128.0.0/12"),
+    ("GB", "212.58.224.0/19"),
+    ("NL", "145.0.0.0/11"),
+    ("NL", "77.160.0.0/13"),
+    ("SG", "203.116.0.0/16"),
+    ("BG", "87.120.0.0/14"),
+    ("US", "8.0.0.0/8"),
+    ("US", "64.0.0.0/10"),
+    ("US", "204.0.0.0/8"),
+    ("DE", "91.0.0.0/10"),
+    ("FR", "90.0.0.0/9"),
+    ("SY", "82.137.192.0/18"),
+    ("SY", "31.9.0.0/16"),
+    ("SA", "188.48.0.0/13"),
+    ("EG", "41.32.0.0/12"),
+    ("TR", "78.160.0.0/11"),
+    ("JO", "80.90.160.0/19"),
+    ("LB", "178.135.0.0/16"),
+    ("CN", "58.16.0.0/13"),
+    ("JP", "126.0.0.0/8"),
+    ("UA", "93.72.0.0/13"),
+    ("SE", "78.64.0.0/12"),
+)
+
+
+def builtin_registry() -> GeoIPDatabase:
+    """Compile the built-in registry into a lookup database."""
+    return GeoIPDatabase(
+        (parse_network(block), country) for country, block in _SYNTHETIC_ALLOCATIONS
+    )
+
+
+COUNTRY_NAMES: dict[str, str] = {
+    "IL": "Israel",
+    "KW": "Kuwait",
+    "RU": "Russian Federation",
+    "GB": "United Kingdom",
+    "NL": "Netherlands",
+    "SG": "Singapore",
+    "BG": "Bulgaria",
+    "US": "United States",
+    "DE": "Germany",
+    "FR": "France",
+    "SY": "Syria",
+    "SA": "Saudi Arabia",
+    "EG": "Egypt",
+    "TR": "Turkey",
+    "JO": "Jordan",
+    "LB": "Lebanon",
+    "CN": "China",
+    "JP": "Japan",
+    "UA": "Ukraine",
+    "SE": "Sweden",
+    "??": "Unknown",
+}

@@ -1,0 +1,74 @@
+"""Interval database mapping IPv4 addresses to country codes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.net.ip import IPv4Network, parse_ipv4
+
+UNKNOWN_COUNTRY = "??"
+
+
+class GeoIPDatabase:
+    """Country lookup over non-overlapping CIDR allocations.
+
+    Built once from ``(network, country)`` pairs; lookups run in
+    O(log n) per address, or vectorized over numpy arrays of integer
+    addresses via :meth:`lookup_many`.
+    """
+
+    def __init__(self, allocations: Iterable[tuple[IPv4Network, str]]):
+        entries = sorted(allocations, key=lambda item: item[0].network)
+        self._starts = np.array([net.first for net, _ in entries], dtype=np.int64)
+        self._ends = np.array([net.last for net, _ in entries], dtype=np.int64)
+        self._countries = np.array([country for _, country in entries], dtype=object)
+        self._networks = [net for net, _ in entries]
+        for i in range(1, len(entries)):
+            if self._starts[i] <= self._ends[i - 1]:
+                raise ValueError(
+                    "overlapping allocations: "
+                    f"{self._networks[i - 1]} and {self._networks[i]}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._networks)
+
+    @property
+    def countries(self) -> set[str]:
+        """Every country with at least one allocation."""
+        return set(self._countries.tolist())
+
+    def networks_of(self, country: str) -> list[IPv4Network]:
+        """All allocations registered to *country*."""
+        return [
+            net
+            for net, owner in zip(self._networks, self._countries)
+            if owner == country
+        ]
+
+    def lookup(self, address: int | str) -> str:
+        """Country code of one address (``"??"`` when unallocated)."""
+        if isinstance(address, str):
+            address = parse_ipv4(address)
+        index = int(np.searchsorted(self._starts, address, side="right")) - 1
+        if index < 0 or address > self._ends[index]:
+            return UNKNOWN_COUNTRY
+        return str(self._countries[index])
+
+    def lookup_many(self, addresses: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorized lookup of integer addresses.
+
+        Returns an object array of country codes aligned with the
+        input; unallocated addresses map to ``"??"``.
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        indices = np.searchsorted(self._starts, addrs, side="right") - 1
+        clipped = np.clip(indices, 0, max(len(self._networks) - 1, 0))
+        if len(self._networks) == 0:
+            return np.full(len(addrs), UNKNOWN_COUNTRY, dtype=object)
+        valid = (indices >= 0) & (addrs <= self._ends[clipped])
+        result = np.full(len(addrs), UNKNOWN_COUNTRY, dtype=object)
+        result[valid] = self._countries[clipped[valid]]
+        return result

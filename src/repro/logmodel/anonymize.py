@@ -1,0 +1,40 @@
+"""Telecomix-style anonymization of client addresses.
+
+Before the 2011 release, Telecomix suppressed user identifiers: for
+most of the leak, ``c-ip`` was replaced with zeros; for a small slice
+(July 22–23) it was replaced with a *hash* of the address, which is
+what makes the paper's D_user analysis possible (Section 3.3).
+
+We reproduce both treatments.  The hash is keyed so that synthetic
+client addresses cannot be recovered by brute force over the IPv4
+space, mirroring good release practice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+ZEROED_CLIENT_IP = "0.0.0.0"
+
+_DEFAULT_KEY = b"telecomix-release-2011"
+
+
+def zero_client_ip(_c_ip: str) -> str:
+    """The treatment applied to most of the leak: drop the address."""
+    return ZEROED_CLIENT_IP
+
+
+def hash_client_ip(c_ip: str, key: bytes = _DEFAULT_KEY, digest_chars: int = 16) -> str:
+    """The treatment applied to the July 22–23 slice: keyed hash.
+
+    Deterministic for a given key, so one client maps to one stable
+    pseudonym across the slice — the property the D_user analysis needs.
+    """
+    mac = hmac.new(key, c_ip.encode("ascii"), hashlib.sha256)
+    return mac.hexdigest()[:digest_chars]
+
+
+def is_anonymized(c_ip: str) -> bool:
+    """True when *c_ip* is a release pseudonym rather than an address."""
+    return c_ip == ZEROED_CLIENT_IP or (len(c_ip) >= 8 and "." not in c_ip)

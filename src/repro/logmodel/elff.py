@@ -1,0 +1,124 @@
+"""Reading and writing the leaked log format.
+
+The Telecomix release is CSV with W3C/ELFF-style directive lines
+(``#Software``, ``#Version``, ``#Date``, ``#Fields``).  This module
+round-trips :class:`~repro.logmodel.record.LogRecord` objects through
+that format, streaming in both directions so multi-gigabyte files never
+have to fit in memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.logmodel.fields import FIELDS
+from repro.logmodel.record import LogRecord
+
+_DIRECTIVE_PREFIX = "#"
+
+
+def write_log(
+    records: Iterable[LogRecord],
+    destination: Path | io.TextIOBase,
+    software: str = "SGOS 5.3.3.8",
+) -> int:
+    """Write *records* as an ELFF/CSV log file.
+
+    Returns the number of records written.  *destination* may be a path
+    or an open text file.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            return write_log(records, handle, software=software)
+    destination.write(f"#Software: {software}\n")
+    destination.write("#Version: 1.0\n")
+    destination.write(f"#Fields: {' '.join(FIELDS)}\n")
+    writer = csv.writer(destination)
+    count = 0
+    for record in records:
+        writer.writerow(record.to_row())
+        count += 1
+    return count
+
+
+class LogFormatError(ValueError):
+    """Raised on malformed log files."""
+
+
+@dataclass
+class ReadStats:
+    """Bookkeeping for lenient reads: what was kept, what was dropped."""
+
+    records: int = 0
+    skipped: int = 0
+    first_error: str | None = None
+
+
+def read_log(
+    source: Path | io.TextIOBase,
+    lenient: bool = False,
+    stats: ReadStats | None = None,
+) -> Iterator[LogRecord]:
+    """Stream records from an ELFF/CSV log file.
+
+    Directive lines are validated; a ``#Fields`` directive that does not
+    match the 26-field schema raises :class:`LogFormatError`, since the
+    analyses depend on the exact schema.
+
+    With ``lenient=True`` malformed data rows are skipped instead of
+    raising — the Telecomix files contain truncated and garbled lines —
+    and, when a :class:`ReadStats` is passed, counted there.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            yield from read_log(handle, lenient=lenient, stats=stats)
+        return
+    reader = csv.reader(source)
+    for row in reader:
+        if not row:
+            continue
+        if row[0].startswith(_DIRECTIVE_PREFIX):
+            directive = ",".join(row)
+            if directive.startswith("#Fields:"):
+                declared = directive[len("#Fields:"):].strip().split()
+                if tuple(declared) != FIELDS:
+                    raise LogFormatError(
+                        "log file declares an unexpected field set: "
+                        f"{declared[:3]}..."
+                    )
+            continue
+        try:
+            record = LogRecord.from_row(row)
+        except (ValueError, IndexError) as error:
+            if not lenient:
+                raise LogFormatError(f"malformed row: {error}") from error
+            if stats is not None:
+                stats.skipped += 1
+                if stats.first_error is None:
+                    stats.first_error = str(error)
+            continue
+        if stats is not None:
+            stats.records += 1
+        yield record
+
+
+def read_log_rows(source: Path | io.TextIOBase) -> Iterator[list[str]]:
+    """Stream raw CSV rows (no parsing into records).
+
+    Used by the columnar loader, which converts straight to arrays and
+    does not need per-row ``LogRecord`` objects.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            yield from read_log_rows(handle)
+        return
+    for row in csv.reader(source):
+        if not row or row[0].startswith(_DIRECTIVE_PREFIX):
+            continue
+        if len(row) != len(FIELDS):
+            raise LogFormatError(f"expected {len(FIELDS)} columns, got {len(row)}")
+        yield row

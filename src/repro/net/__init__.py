@@ -1,0 +1,35 @@
+"""Networking primitives shared by the simulator and the analyses.
+
+Submodules
+----------
+``repro.net.url``
+    Minimal URL model matching the Blue Coat log decomposition
+    (scheme, host, port, path, query, extension).
+``repro.net.ip``
+    IPv4 address and CIDR arithmetic on plain integers, vectorizable
+    with numpy.
+``repro.net.ports``
+    Well-known port registry used for the Fig. 1 port analysis.
+``repro.net.useragent``
+    Catalog of user-agent strings circa 2011 used to synthesize the
+    ``cs-user-agent`` field.
+"""
+
+from repro.net.ip import (
+    IPv4Network,
+    format_ipv4,
+    ip_in_network,
+    parse_ipv4,
+    parse_network,
+)
+from repro.net.url import URL, parse_url
+
+__all__ = [
+    "URL",
+    "parse_url",
+    "IPv4Network",
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_network",
+    "ip_in_network",
+]

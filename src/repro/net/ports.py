@@ -1,0 +1,45 @@
+"""Well-known port registry.
+
+Used by the Fig. 1 analysis (destination-port distribution of allowed
+and censored traffic) to label ports, and by the workload generator to
+pick realistic destination ports.
+"""
+
+from __future__ import annotations
+
+# Port -> service label, restricted to ports that show up in the logs.
+WELL_KNOWN_PORTS: dict[int, str] = {
+    21: "ftp",
+    25: "smtp",
+    53: "dns",
+    80: "http",
+    110: "pop3",
+    143: "imap",
+    443: "https",
+    554: "rtsp",
+    843: "flash-policy",
+    1080: "socks",
+    1194: "openvpn",
+    1863: "msnp",
+    1935: "rtmp",
+    3128: "http-proxy",
+    5050: "yahoo-messenger",
+    5190: "aim/icq",
+    5222: "xmpp",
+    6667: "irc",
+    6881: "bittorrent",
+    8000: "http-alt",
+    8080: "http-alt",
+    8443: "https-alt",
+    9001: "tor-or",
+    9030: "tor-dir",
+    9050: "tor-socks",
+}
+
+TOR_OR_PORTS = (9001, 443, 9090, 8080)
+TOR_DIR_PORTS = (9030, 80)
+
+
+def service_name(port: int) -> str:
+    """Human label for *port* (``"other"`` when unregistered)."""
+    return WELL_KNOWN_PORTS.get(port, "other")

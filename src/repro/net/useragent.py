@@ -1,0 +1,85 @@
+"""Catalog of user-agent strings circa mid-2011.
+
+The ``cs-user-agent`` field matters to two analyses:
+
+* the D_user study identifies users by the (hashed c-ip, cs-user-agent)
+  pair (Section 4 of the paper, following Yen et al.);
+* the paper notes that some "users" are actually software agents
+  retrying a censored endpoint (e.g. the Skype updater hammering
+  ``skype.com``).
+
+The catalog therefore distinguishes interactive browsers from
+background/updater agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class UserAgent:
+    """A user-agent string plus classification flags."""
+
+    string: str
+    family: str
+    interactive: bool = True
+
+
+BROWSERS: tuple[UserAgent, ...] = (
+    UserAgent(
+        "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/534.30 (KHTML, like Gecko)"
+        " Chrome/12.0.742.122 Safari/534.30",
+        "chrome",
+    ),
+    UserAgent(
+        "Mozilla/5.0 (Windows NT 5.1; rv:5.0.1) Gecko/20100101 Firefox/5.0.1",
+        "firefox",
+    ),
+    UserAgent(
+        "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 5.1; Trident/4.0)",
+        "msie",
+    ),
+    UserAgent(
+        "Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 6.0; SLCC1)",
+        "msie",
+    ),
+    UserAgent(
+        "Mozilla/5.0 (Windows NT 6.1; rv:2.0.1) Gecko/20100101 Firefox/4.0.1",
+        "firefox",
+    ),
+    UserAgent(
+        "Opera/9.80 (Windows NT 5.1; U; en) Presto/2.8.131 Version/11.11",
+        "opera",
+    ),
+    UserAgent(
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_6_8) AppleWebKit/534.30"
+        " (KHTML, like Gecko) Chrome/12.0.742.112 Safari/534.30",
+        "chrome",
+    ),
+)
+
+SOFTWARE_AGENTS: tuple[UserAgent, ...] = (
+    UserAgent("Skype WISPr", "skype-updater", interactive=False),
+    UserAgent("Windows-Update-Agent", "windows-update", interactive=False),
+    UserAgent("Microsoft BITS/7.5", "bits", interactive=False),
+    UserAgent("MSN Explorer/9.0 (MSN 8.0; TmstmpExt)", "msn", interactive=False),
+    UserAgent("GoogleToolbar 7.1.2011.0512b;winxp;en", "google-toolbar", interactive=False),
+    UserAgent("Java/1.6.0_26", "java", interactive=False),
+)
+
+# BitTorrent clients send their own user agents on announce requests.
+BITTORRENT_AGENTS: tuple[UserAgent, ...] = (
+    UserAgent("uTorrent/2210(25130)", "utorrent", interactive=False),
+    UserAgent("Azureus 4.6.0.4;Windows XP;Java 1.6.0_26", "azureus", interactive=False),
+    UserAgent("BitTorrent/7.2.1", "bittorrent", interactive=False),
+)
+
+ALL_AGENTS: tuple[UserAgent, ...] = BROWSERS + SOFTWARE_AGENTS + BITTORRENT_AGENTS
+
+_BY_STRING = {agent.string: agent for agent in ALL_AGENTS}
+
+
+def classify_agent(string: str) -> UserAgent | None:
+    """Look up a catalog agent by its exact string, if known."""
+    return _BY_STRING.get(string)

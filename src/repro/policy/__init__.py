@@ -1,0 +1,40 @@
+"""Blue Coat filtering-policy engine.
+
+Implements the filtering machinery the paper reverse-engineers in
+Sections 5 and 6: keyword (substring) matching over the URL fields,
+domain/host blacklists, destination-IP subnet rules, host-based
+redirects, the custom "Blocked sites" category targeting Facebook
+pages, plus the proxy cache model and the network-error model that
+produce the PROXIED and error traffic of Table 3.
+
+:func:`repro.policy.syria.build_syrian_policy` assembles the concrete
+rule set used by the simulation.
+"""
+
+from repro.policy.engine import PolicyEngine
+from repro.policy.rules import (
+    Action,
+    DomainBlacklistRule,
+    FacebookPageRule,
+    HostBlacklistRule,
+    IPBlacklistRule,
+    KeywordRule,
+    RedirectHostRule,
+    RequestView,
+    TorOnionRule,
+    Verdict,
+)
+
+__all__ = [
+    "Action",
+    "Verdict",
+    "RequestView",
+    "PolicyEngine",
+    "KeywordRule",
+    "DomainBlacklistRule",
+    "HostBlacklistRule",
+    "RedirectHostRule",
+    "FacebookPageRule",
+    "IPBlacklistRule",
+    "TorOnionRule",
+]

@@ -1,0 +1,131 @@
+"""Proxy cache (PROXIED) models.
+
+0.47 % of the paper's requests are PROXIED — served from or decided by
+the proxy cache.  The paper notes an inconsistency: some PROXIED
+requests to consistently-censored URLs carry *no* exception id even
+though equivalent requests are denied (Section 3.3).
+
+Two models are provided:
+
+* :class:`CacheModel` — probabilistic, calibrated directly to the
+  paper's PROXIED rate; the default, because it reproduces the logs'
+  statistics without assuming anything about the appliances' cache
+  configuration;
+* :class:`LruProxyCache` — a behavioural LRU over actual request URLs
+  ("bandwidth gain profile" style): PROXIED rows arise from genuine
+  repetition, and the missing-exception inconsistency arises from
+  stale cached decisions.  Used by the cache ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+DEFAULT_CACHE_RATE = 0.0047
+DEFAULT_CLEAR_SHARE = 0.55
+
+
+class CacheModel:
+    """Samples whether a request is PROXIED and whether its exception
+    survives caching."""
+
+    def __init__(
+        self,
+        cache_rate: float = DEFAULT_CACHE_RATE,
+        clear_exception_share: float = DEFAULT_CLEAR_SHARE,
+    ):
+        if not 0.0 <= cache_rate <= 1.0:
+            raise ValueError(f"bad cache rate: {cache_rate}")
+        if not 0.0 <= clear_exception_share <= 1.0:
+            raise ValueError(f"bad clear share: {clear_exception_share}")
+        self.cache_rate = cache_rate
+        self.clear_exception_share = clear_exception_share
+
+    def is_cached(self, rng: np.random.Generator) -> bool:
+        """One PROXIED draw at the calibrated rate."""
+        return rng.random() < self.cache_rate
+
+    def exception_cleared(self, rng: np.random.Generator) -> bool:
+        """For a cached censored request: does the log lose the
+        exception id (the paper's PROXIED inconsistency)?"""
+        return rng.random() < self.clear_exception_share
+
+    @staticmethod
+    def cacheable(method: str, content_type: str) -> bool:
+        """The probabilistic model applies to all traffic."""
+        return True
+
+    def lookup(self, key: str, rng: np.random.Generator) -> bool:
+        """Uniform-probability hit; the key is ignored (see
+        :class:`LruProxyCache` for the behavioural variant)."""
+        return self.is_cached(rng)
+
+
+#: Content types the "bandwidth gain profile" caches.
+_CACHEABLE_TYPES = (
+    "image/", "application/javascript", "text/css",
+    "application/octet-stream", "application/zip", "video/",
+)
+
+
+class LruProxyCache:
+    """A behavioural cache: exact-URL LRU with bounded capacity.
+
+    ``lookup`` both queries and updates the cache, mirroring a real
+    appliance: a miss inserts the entry (when the request looks
+    cacheable), a hit refreshes recency and yields a PROXIED log row.
+    The stale-decision share models SGOS serving a cached object
+    without re-running policy — the paper's missing-exception rows.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 50_000,
+        stale_decision_share: float = DEFAULT_CLEAR_SHARE,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= stale_decision_share <= 1.0:
+            raise ValueError(f"bad stale share: {stale_decision_share}")
+        self.capacity = capacity
+        self.clear_exception_share = stale_decision_share
+        self._entries: OrderedDict[str, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def cacheable(method: str, content_type: str) -> bool:
+        if method != "GET":
+            return False
+        return any(content_type.startswith(t) for t in _CACHEABLE_TYPES) or (
+            content_type == "text/html"
+        )
+
+    def lookup(self, key: str, rng: np.random.Generator) -> bool:
+        """Query-and-update; returns True on a cache hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[key] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def is_cached(self, rng: np.random.Generator) -> bool:
+        """Compatibility shim for callers without a key (never hits —
+        a behavioural cache needs the URL)."""
+        return False
+
+    def exception_cleared(self, rng: np.random.Generator) -> bool:
+        """Stale-decision draw (the missing-exception quirk)."""
+        return rng.random() < self.clear_exception_share
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

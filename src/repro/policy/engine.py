@@ -1,0 +1,43 @@
+"""Ordered rule evaluation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.policy.rules import ALLOW_VERDICT, RequestView, Verdict
+
+
+class PolicyEngine:
+    """Evaluates an ordered rule list; first match wins.
+
+    Mirrors SGOS policy semantics for the subset the paper exercises:
+    the custom-category rule is evaluated first (categorization
+    precedes the general policy), then redirects, then the deny rules.
+    Ordering is the caller's responsibility; :mod:`repro.policy.syria`
+    builds the canonical order.
+    """
+
+    def __init__(self, rules: Sequence[object], name: str = "policy"):
+        for rule in rules:
+            if not hasattr(rule, "evaluate"):
+                raise TypeError(f"not a rule: {rule!r}")
+        self._rules = tuple(rules)
+        self.name = name
+
+    @property
+    def rules(self) -> tuple[object, ...]:
+        return self._rules
+
+    def evaluate(self, request: RequestView) -> Verdict:
+        """Return the verdict for *request* (ALLOW when nothing matches)."""
+        for rule in self._rules:
+            verdict = rule.evaluate(request)
+            if verdict is not None:
+                return verdict
+        return ALLOW_VERDICT
+
+    def with_rules(self, extra: Iterable[object], prepend: bool = False) -> "PolicyEngine":
+        """A new engine with *extra* rules appended (or prepended)."""
+        extra = tuple(extra)
+        rules = extra + self._rules if prepend else self._rules + extra
+        return PolicyEngine(rules, name=self.name)

@@ -1,0 +1,182 @@
+"""The Syrian filtering configuration.
+
+Assembles the concrete rule set the paper reverse-engineers: the five
+blacklisted keywords, the blocked-domain list (the "105 suspected
+domains" of Section 5.4), the ``.il`` suffix, the Israeli subnet and
+address blocks of Table 12, the redirect hosts of Table 7, the custom
+Facebook-page category of Table 14, and SG-44's intermittent Tor
+blocking of Section 7.1.
+
+The configuration doubles as the simulation's *ground truth*: tests
+validate that the analysis pipeline re-derives exactly these rules
+from the generated logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.catalog import facebook as fb
+from repro.catalog.domains import SiteSpec
+from repro.logmodel.fields import PROXY_NAMES
+from repro.net.ip import IPv4Network, parse_network
+from repro.net.url import registered_domain
+from repro.policy.engine import PolicyEngine
+from repro.policy.rules import (
+    DomainBlacklistRule,
+    FacebookPageRule,
+    HostBlacklistRule,
+    IPBlacklistRule,
+    KeywordRule,
+    RedirectHostRule,
+    TorBlockSchedule,
+    TorOnionRule,
+)
+from repro.timeline import day_epoch
+from repro.tornet import TorDirectory
+
+#: The five blacklisted keywords (Table 10 of the paper).
+KEYWORDS: tuple[str, ...] = (
+    "proxy",
+    "hotspotshield",
+    "ultrareach",
+    "israel",
+    "ultrasurf",
+)
+
+#: Blocked TLD suffix: all Israeli domains (Section 5.4).
+BLOCKED_SUFFIXES: tuple[str, ...] = (".il",)
+
+#: Israeli subnets blocked wholesale (Table 12's "group A").
+BLOCKED_SUBNETS: tuple[IPv4Network, ...] = (
+    parse_network("84.229.0.0/16"),
+    parse_network("46.120.0.0/15"),
+    parse_network("89.138.0.0/15"),
+    parse_network("212.235.64.0/19"),
+)
+
+#: Individually blocked Israeli addresses inside the otherwise-allowed
+#: 212.150.0.0/16 (Table 12's "group B": 3 censored IPs among 15).
+BLOCKED_IL_ADDRESSES: tuple[str, ...] = (
+    "212.150.13.20",
+    "212.150.77.45",
+    "212.150.201.8",
+)
+
+#: Extra redirect hosts beyond the Facebook pages (Table 7).
+REDIRECT_HOSTS: tuple[str, ...] = (
+    "upload.youtube.com",
+    "competition.mbc.net",
+    "sharek.aljazeera.net",
+)
+
+
+def default_tor_schedule() -> TorBlockSchedule:
+    """SG-44's intermittent Tor-blocking windows.
+
+    Shaped to reproduce Fig. 9: quiet start with brief mild windows,
+    aggressive bursts on the Aug 3 protest day, alternating
+    aggressive/mild periods afterwards.
+    """
+    windows: list[tuple[int, int, float]] = []
+
+    def add(day: str, start_hour: int, end_hour: int, probability: float) -> None:
+        base = day_epoch(day)
+        windows.append((base + start_hour * 3600, base + end_hour * 3600, probability))
+
+    add("2011-08-01", 9, 12, 0.20)
+    add("2011-08-02", 7, 9, 0.45)
+    add("2011-08-02", 14, 17, 0.30)
+    add("2011-08-03", 5, 9, 0.90)
+    add("2011-08-03", 10, 14, 0.60)
+    add("2011-08-03", 17, 22, 0.80)
+    add("2011-08-04", 0, 5, 0.40)
+    add("2011-08-04", 8, 16, 0.85)
+    add("2011-08-04", 19, 23, 0.55)
+    add("2011-08-05", 6, 11, 0.70)
+    add("2011-08-05", 15, 22, 0.45)
+    add("2011-08-06", 4, 9, 0.65)
+    add("2011-08-06", 11, 19, 0.80)
+    return TorBlockSchedule(windows)
+
+
+@dataclass
+class SyrianPolicy:
+    """The full per-proxy policy configuration plus ground truth."""
+
+    base_engine: PolicyEngine
+    proxy_engines: dict[str, PolicyEngine]
+    blocked_domains: frozenset[str]
+    blocked_hosts: frozenset[str]
+    keywords: tuple[str, ...]
+    tor_schedule: TorBlockSchedule | None
+    blocked_subnets: tuple[IPv4Network, ...] = BLOCKED_SUBNETS
+    blocked_addresses: tuple[str, ...] = field(default_factory=tuple)
+
+    def engine_for(self, proxy_name: str) -> PolicyEngine:
+        return self.proxy_engines.get(proxy_name, self.base_engine)
+
+
+def blocked_domains_from_sites(sites: Iterable[SiteSpec]) -> frozenset[str]:
+    """Registered domains of every ``suspected``-tagged site."""
+    return frozenset(
+        registered_domain(site.host) for site in sites if site.tagged("suspected")
+    )
+
+
+def blocked_hosts_from_sites(sites: Iterable[SiteSpec]) -> frozenset[str]:
+    """Hosts blocked individually (``blocked-host`` tag)."""
+    return frozenset(
+        site.host for site in sites if site.tagged("blocked-host")
+    )
+
+
+def build_syrian_policy(
+    sites: Iterable[SiteSpec],
+    tor_directory: TorDirectory | None = None,
+    extra_blocked_addresses: Iterable[str] = (),
+    tor_schedule: TorBlockSchedule | None = None,
+    tor_blocking_proxy: str = "SG-44",
+) -> SyrianPolicy:
+    """Assemble the Syrian policy over a site universe.
+
+    ``extra_blocked_addresses`` lets the workload add the anonymizer
+    endpoints it places abroad (the censored NL/GB/RU addresses of
+    Table 11); ``tor_directory`` enables SG-44's Tor rule.
+    """
+    sites = list(sites)
+    blocked_domains = blocked_domains_from_sites(sites)
+    blocked_hosts = blocked_hosts_from_sites(sites)
+    blocked_addresses = tuple(BLOCKED_IL_ADDRESSES) + tuple(extra_blocked_addresses)
+
+    rules = [
+        FacebookPageRule(
+            pages=fb.CUSTOM_CATEGORY_PAGES,
+            hosts=[host for host, _ in fb.PAGE_HOSTS],
+            query_forms=fb.BLOCKED_QUERY_FORMS,
+        ),
+        RedirectHostRule(REDIRECT_HOSTS),
+        HostBlacklistRule(blocked_hosts),
+        DomainBlacklistRule(blocked_domains, suffixes=BLOCKED_SUFFIXES),
+        KeywordRule(KEYWORDS),
+        IPBlacklistRule(subnets=BLOCKED_SUBNETS, addresses=blocked_addresses),
+    ]
+    base = PolicyEngine(rules, name="syria-base")
+
+    proxy_engines: dict[str, PolicyEngine] = {name: base for name in PROXY_NAMES}
+    schedule = None
+    if tor_directory is not None:
+        schedule = tor_schedule or default_tor_schedule()
+        tor_rule = TorOnionRule(tor_directory.or_endpoints(), schedule)
+        proxy_engines[tor_blocking_proxy] = base.with_rules([tor_rule])
+
+    return SyrianPolicy(
+        base_engine=base,
+        proxy_engines=proxy_engines,
+        blocked_domains=blocked_domains,
+        blocked_hosts=blocked_hosts,
+        keywords=KEYWORDS,
+        tor_schedule=schedule,
+        blocked_addresses=blocked_addresses,
+    )

@@ -1,0 +1,13 @@
+"""Blue Coat SG-9000 proxy simulation.
+
+:class:`~repro.proxy.sg9000.SG9000` models one appliance: policy
+evaluation, cache behaviour, error injection and log emission.
+:class:`~repro.proxy.fleet.ProxyFleet` models the deployment the paper
+studies: seven appliances behind the STE backbone with load balancing
+and domain-based redirection.
+"""
+
+from repro.proxy.fleet import ProxyFleet, RoutingPolicy
+from repro.proxy.sg9000 import SG9000, CategoryNaming
+
+__all__ = ["SG9000", "CategoryNaming", "ProxyFleet", "RoutingPolicy"]

@@ -1,0 +1,9 @@
+"""ASCII rendering of analysis results.
+
+Used by the examples and the benchmark harness to print the same rows
+and series the paper's tables and figures report.
+"""
+
+from repro.reporting.tables import format_pct, render_series, render_table
+
+__all__ = ["render_table", "render_series", "format_pct"]

@@ -1,0 +1,140 @@
+"""Markdown rendering of a full censorship report.
+
+Turns a :class:`~repro.analysis.report.CensorshipReport` into one
+self-contained Markdown document — the shareable artifact of a
+simulation run (``repro report`` and the examples print ASCII; this is
+the file-output path).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines += [
+        "| " + " | ".join(str(value) for value in row) + " |" for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def report_to_markdown(report, title: str = "Censorship report") -> str:
+    """Render the full report as Markdown."""
+    parts: list[str] = [f"# {title}", ""]
+
+    full = report.table3["full"]
+    parts += [
+        "## Overview",
+        "",
+        f"{full.total:,} requests — allowed {full.allowed_pct:.2f} %, "
+        f"censored {full.censored_pct:.2f} %, errors "
+        f"{full.denied_pct - full.censored_pct:.2f} %, proxied "
+        f"{full.proxied_pct:.2f} %.",
+        "",
+        "### Exceptions",
+        "",
+        _md_table(
+            ["Exception", "Requests", "% of traffic"],
+            [
+                [row.exception_id, row.count, f"{row.share_pct:.2f}"]
+                for row in full.exception_rows
+            ],
+        ),
+        "",
+        "### Top domains",
+        "",
+        _md_table(
+            ["Allowed", "%", "Censored", "%"],
+            [
+                [
+                    a.domain, f"{a.share_pct:.2f}",
+                    c.domain, f"{c.share_pct:.2f}",
+                ]
+                for a, c in zip(report.table4.allowed, report.table4.censored)
+            ],
+        ),
+        "",
+    ]
+
+    parts += [
+        "## Recovered policy",
+        "",
+        f"Suspected always-blocked domains: {len(report.table8)}.",
+        "",
+        _md_table(
+            ["Domain", "Censored requests", "% of censored"],
+            [
+                [row.domain, row.censored, f"{row.censored_share_pct:.2f}"]
+                for row in report.table8[:12]
+            ],
+        ),
+        "",
+        "Keywords (recovered: "
+        + ", ".join(f"`{k.keyword}`" for k in report.recovered_keywords)
+        + "):",
+        "",
+        _md_table(
+            ["Keyword", "Censored", "% of censored", "Allowed"],
+            [
+                [row.keyword, row.censored,
+                 f"{row.censored_share_pct:.2f}", row.allowed]
+                for row in report.table10
+            ],
+        ),
+        "",
+    ]
+
+    parts += [
+        "## Censored categories",
+        "",
+        _md_table(
+            ["Category", "Requests", "%"],
+            [[s.category, s.requests, f"{s.share_pct:.2f}"] for s in report.fig3],
+        ),
+        "",
+        "## Proxies",
+        "",
+        _md_table(
+            ["", *report.table6.proxies],
+            [
+                [a, *(f"{report.table6.value(a, b):.2f}"
+                      for b in report.table6.proxies)]
+                for a in report.table6.proxies
+            ],
+        ),
+        "",
+    ]
+
+    parts += [
+        "## Circumvention",
+        "",
+        f"- **Tor**: {report.tor.total_requests} requests, "
+        f"{report.tor.http_share_pct:.1f} % directory traffic, "
+        f"{report.tor.censored} censored by "
+        f"{sorted(report.tor.censored_by_proxy) or 'nobody'}.",
+        f"- **BitTorrent**: {report.bittorrent.announce_requests} announces, "
+        f"{report.bittorrent.allowed_share_pct:.2f} % allowed; "
+        f"{report.bittorrent.circumvention_announces} circumvention-tool "
+        "announces.",
+        f"- **Google cache**: {report.google_cache.requests} fetches, "
+        f"{report.google_cache.censored_content_fetches} reached otherwise-"
+        "censored content.",
+        f"- **Anonymizers**: {report.fig10.hosts} hosts, "
+        f"{report.fig10.never_filtered_hosts_pct:.1f} % never filtered.",
+        "",
+    ]
+
+    values = report.fig9.rfilter[~np.isnan(report.fig9.rfilter)]
+    if len(values):
+        parts += [
+            f"Tor R_filter: mean {values.mean():.2f}, std {values.std():.2f} "
+            f"over {len(values)} bins.",
+            "",
+        ]
+    return "\n".join(parts)

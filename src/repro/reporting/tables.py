@@ -1,0 +1,74 @@
+"""Plain-text table and series rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_pct(value: float, digits: int = 2) -> str:
+    """Format a percentage the way the paper prints them."""
+    return f"{value:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def render_series(
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+    max_points: int = 30,
+) -> str:
+    """Render an (x, y) series, downsampled for readability."""
+    parts = []
+    if title:
+        parts.append(title)
+    if not points:
+        parts.append("(empty series)")
+        return "\n".join(parts)
+    step = max(1, len(points) // max_points)
+    for x, y in list(points)[::step]:
+        y_text = f"{y:.4f}" if isinstance(y, float) else str(y)
+        parts.append(f"  {x}: {y_text}")
+    return "\n".join(parts)
+
+
+def render_bar_chart(
+    items: Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render labelled horizontal bars (for the figure benches)."""
+    parts = []
+    if title:
+        parts.append(title)
+    if not items:
+        parts.append("(no data)")
+        return "\n".join(parts)
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    for label, value in items:
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        parts.append(f"  {label.ljust(label_width)}  {bar} {value:.2f}")
+    return "\n".join(parts)

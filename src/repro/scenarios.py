@@ -1,0 +1,176 @@
+"""Named what-if scenarios.
+
+The canonical scenario reproduces the Summer-2011 policy the paper
+measured.  The paper's remarks section notes how the ecosystem evolved
+(Tor relays and bridges blocked from December 2012; heavier equipment
+purchased) and argues that understanding the policy helps circumvention
+design.  These named scenarios make such what-ifs runnable: each
+returns a :class:`~repro.datasets.ScenarioDatasets` built under a
+modified policy, comparable against the baseline with the ordinary
+analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.catalog.categories import Category
+from repro.categorizer import TrustedSourceCategorizer
+from repro.datasets import ScenarioDatasets
+from repro.datasets.builder import _build_categorizer  # shared wiring
+from repro.frame import frame_from_records
+from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
+from repro.policy.engine import PolicyEngine
+from repro.policy.extensions import CategoryRule, TimeOfDayRule
+from repro.policy.rules import TorBlockSchedule, TorOnionRule
+from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.proxy import ProxyFleet
+from repro.timeline import USER_SLICE_DAYS, day_epoch, day_span
+from repro.workload import ScenarioConfig, TrafficGenerator
+
+PolicyTransform = Callable[[SyrianPolicy, TrafficGenerator], SyrianPolicy]
+
+
+def build_custom_scenario(
+    config: ScenarioConfig,
+    transform: PolicyTransform | None = None,
+    sample_fraction: float = 0.04,
+) -> ScenarioDatasets:
+    """Like :func:`repro.datasets.build_scenario`, with a policy hook.
+
+    *transform* receives the canonical Syrian policy plus the traffic
+    generator (for ground-truth artifacts like the Tor directory) and
+    returns the policy to deploy.
+    """
+    generator = TrafficGenerator(config)
+    policy = build_syrian_policy(
+        generator.sites,
+        tor_directory=generator.tor_directory,
+        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+    )
+    if transform is not None:
+        policy = transform(policy, generator)
+    fleet = ProxyFleet(policy)
+
+    rng = np.random.default_rng(config.seed + 1000)
+    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
+    records = []
+    records_by_day = {}
+    for day, requests in generator.generate():
+        day_records = [fleet.process(request, rng) for request in requests]
+        for record in day_records:
+            in_user_slice = any(
+                start <= record.epoch < end for start, end in user_spans
+            )
+            record.c_ip = (
+                hash_client_ip(record.c_ip)
+                if in_user_slice
+                else zero_client_ip(record.c_ip)
+            )
+        records_by_day[day] = len(day_records)
+        records.extend(day_records)
+
+    full = frame_from_records(records)
+    sample = full.sample(sample_fraction, rng)
+    epochs = full.col("epoch")
+    user_mask = np.zeros(len(full), dtype=bool)
+    for start, end in user_spans:
+        user_mask |= (epochs >= start) & (epochs < end)
+    return ScenarioDatasets(
+        full=full,
+        sample=sample,
+        user=full.where(user_mask),
+        denied=full.where(full.col("x_exception_id") != "-"),
+        config=config,
+        policy=policy,
+        generator=generator,
+        categorizer=_build_categorizer(generator),
+        sample_fraction=sample_fraction,
+        records_by_day=records_by_day,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Policy transforms
+# ---------------------------------------------------------------------------
+
+def tor_blackout(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+    """The December-2012 state: every proxy blocks every Tor OR
+    connection, all the time (the paper's remark about relays and
+    bridges being blocked)."""
+    start = day_epoch("2011-07-22")
+    end = day_epoch("2011-08-07")
+    schedule = TorBlockSchedule([(start, end, 1.0)])
+    rule = TorOnionRule(generator.tor_directory.or_endpoints(), schedule)
+    engines = {
+        name: engine.with_rules([rule])
+        for name, engine in policy.proxy_engines.items()
+    }
+    return SyrianPolicy(
+        base_engine=policy.base_engine.with_rules([rule]),
+        proxy_engines=engines,
+        blocked_domains=policy.blocked_domains,
+        blocked_hosts=policy.blocked_hosts,
+        keywords=policy.keywords,
+        tor_schedule=schedule,
+        blocked_subnets=policy.blocked_subnets,
+        blocked_addresses=policy.blocked_addresses,
+    )
+
+
+def streaming_curfew(
+    start_hour: int = 18,
+    end_hour: int = 23,
+) -> PolicyTransform:
+    """A category × time-of-day policy: streaming media blocked during
+    the evening protest-mobilization hours — the kind of fine-grained
+    control the paper notes DPI-capable appliances support."""
+
+    def transform(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+        categorizer = TrustedSourceCategorizer(generator.sites)
+        rule = TimeOfDayRule(
+            CategoryRule([Category.STREAMING_MEDIA], categorizer.categorize),
+            start_hour,
+            end_hour,
+        )
+        engines = {
+            name: engine.with_rules([rule])
+            for name, engine in policy.proxy_engines.items()
+        }
+        return SyrianPolicy(
+            base_engine=policy.base_engine.with_rules([rule]),
+            proxy_engines=engines,
+            blocked_domains=policy.blocked_domains,
+            blocked_hosts=policy.blocked_hosts,
+            keywords=policy.keywords,
+            tor_schedule=policy.tor_schedule,
+            blocked_subnets=policy.blocked_subnets,
+            blocked_addresses=policy.blocked_addresses,
+        )
+
+    return transform
+
+
+def no_keyword_filtering(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+    """Remove the keyword engine entirely — the collateral-damage
+    counterfactual behind the paper's Section 8 discussion."""
+    from repro.policy.rules import KeywordRule
+
+    def strip(engine: PolicyEngine) -> PolicyEngine:
+        rules = [r for r in engine.rules if not isinstance(r, KeywordRule)]
+        return PolicyEngine(rules, name=engine.name)
+
+    return SyrianPolicy(
+        base_engine=strip(policy.base_engine),
+        proxy_engines={
+            name: strip(engine) for name, engine in policy.proxy_engines.items()
+        },
+        blocked_domains=policy.blocked_domains,
+        blocked_hosts=policy.blocked_hosts,
+        keywords=(),
+        tor_schedule=policy.tor_schedule,
+        blocked_subnets=policy.blocked_subnets,
+        blocked_addresses=policy.blocked_addresses,
+    )

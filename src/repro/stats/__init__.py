@@ -1,0 +1,14 @@
+"""Statistical helpers used across the analyses."""
+
+from repro.stats.distributions import cdf_points, log_histogram
+from repro.stats.powerlaw import fit_power_law, requests_per_domain_histogram
+from repro.stats.similarity import cosine_similarity, pairwise_cosine
+
+__all__ = [
+    "cosine_similarity",
+    "pairwise_cosine",
+    "fit_power_law",
+    "requests_per_domain_histogram",
+    "cdf_points",
+    "log_histogram",
+]

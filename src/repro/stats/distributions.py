@@ -1,0 +1,50 @@
+"""CDF and histogram utilities for the figure analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cdf_points(values: np.ndarray) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) points.
+
+    Used for Fig. 4(b) and Fig. 10; duplicate values collapse to the
+    highest cumulative fraction.
+    """
+    data = np.sort(np.asarray(values, dtype=float))
+    if len(data) == 0:
+        return []
+    fractions = np.arange(1, len(data) + 1) / len(data)
+    points: list[tuple[float, float]] = []
+    for value, fraction in zip(data, fractions):
+        if points and points[-1][0] == value:
+            points[-1] = (float(value), float(fraction))
+        else:
+            points.append((float(value), float(fraction)))
+    return points
+
+
+def fraction_at_or_below(values: np.ndarray, threshold: float) -> float:
+    """P(X <= threshold) under the empirical distribution."""
+    data = np.asarray(values, dtype=float)
+    if len(data) == 0:
+        return 0.0
+    return float((data <= threshold).mean())
+
+
+def log_histogram(values: np.ndarray, bins: int = 24) -> list[tuple[float, int]]:
+    """Histogram with logarithmic bin edges (for heavy-tailed data).
+
+    Returns (bin left edge, count) pairs; zero/negative values are
+    dropped (they have no logarithm).
+    """
+    data = np.asarray(values, dtype=float)
+    data = data[data > 0]
+    if len(data) == 0:
+        return []
+    low, high = data.min(), data.max()
+    if low == high:
+        return [(float(low), int(len(data)))]
+    edges = np.logspace(np.log10(low), np.log10(high), bins + 1)
+    counts, _ = np.histogram(data, bins=edges)
+    return [(float(edge), int(count)) for edge, count in zip(edges[:-1], counts)]

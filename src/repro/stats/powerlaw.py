@@ -1,0 +1,41 @@
+"""Power-law helpers for the Fig. 2 analysis.
+
+Fig. 2 plots, per traffic class, how many domains receive a given
+number of requests — a power law.  We provide the histogram builder
+and a discrete maximum-likelihood exponent fit (Clauset et al.'s
+approximation), used by tests to assert the distribution is actually
+heavy-tailed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def requests_per_domain_histogram(counts: np.ndarray) -> list[tuple[int, int]]:
+    """From per-domain request counts to (request count, #domains).
+
+    The x/y pairs of one Fig. 2 curve, sorted by request count.
+    """
+    counts = np.asarray(counts)
+    counts = counts[counts > 0]
+    if len(counts) == 0:
+        return []
+    values, frequencies = np.unique(counts, return_counts=True)
+    return [(int(v), int(f)) for v, f in zip(values, frequencies)]
+
+
+def fit_power_law(counts: np.ndarray, xmin: float = 1, discrete: bool = True) -> float:
+    """MLE exponent of a power law over *counts*.
+
+    Continuous data uses ``alpha = 1 + n / sum(ln(x / xmin))``; for
+    discrete data (request counts) the Clauset–Shalizi–Newman
+    continuity correction replaces ``xmin`` with ``xmin - 0.5``
+    (Eq. 3.7), adequate for the sanity checks here.
+    """
+    data = np.asarray(counts, dtype=float)
+    data = data[data >= xmin]
+    if len(data) < 2:
+        raise ValueError("need at least two observations >= xmin")
+    denominator = max(xmin - 0.5, 0.5) if discrete else xmin
+    return 1.0 + len(data) / float(np.log(data / denominator).sum())

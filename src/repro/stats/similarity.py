@@ -1,0 +1,43 @@
+"""Cosine similarity over sparse count vectors (Table 6 of the paper).
+
+The paper compares proxies by the cosine similarity of their censored
+-domain request vectors: ``A_i`` is the number of requests for domain
+``i`` censored by proxy A.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def cosine_similarity(a: Mapping[object, float], b: Mapping[object, float]) -> float:
+    """Cosine similarity of two sparse vectors keyed by domain.
+
+    Returns 0.0 when either vector is empty (no censored traffic seen
+    by that proxy), which is the natural reading of "no similarity".
+    """
+    if not a or not b:
+        return 0.0
+    dot = sum(value * b.get(key, 0.0) for key, value in a.items())
+    norm_a = math.sqrt(sum(value * value for value in a.values()))
+    norm_b = math.sqrt(sum(value * value for value in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def pairwise_cosine(
+    vectors: Mapping[str, Mapping[object, float]],
+    order: Sequence[str] | None = None,
+) -> tuple[list[str], list[list[float]]]:
+    """Full similarity matrix over named vectors.
+
+    Returns (names, matrix) with matrix[i][j] = cos(v_i, v_j).
+    """
+    names = list(order) if order is not None else sorted(vectors)
+    matrix = [
+        [cosine_similarity(vectors.get(a, {}), vectors.get(b, {})) for b in names]
+        for a in names
+    ]
+    return names, matrix

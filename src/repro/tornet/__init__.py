@@ -1,0 +1,14 @@
+"""Synthetic Tor network substrate (Section 7.1 of the paper).
+
+The paper identifies Tor traffic by matching log rows against
+``<relay ip, port, date>`` triplets extracted from the Tor project's
+server descriptors and network-status archives.  Those archives are
+not available offline, so this package provides the equivalent:
+a deterministic synthetic relay population with OR/Dir endpoints,
+descriptor-style directory paths, and the Tor_http / Tor_onion traffic
+split used by both the traffic generator and the analysis.
+"""
+
+from repro.tornet.directory import Relay, TorDirectory
+
+__all__ = ["Relay", "TorDirectory"]

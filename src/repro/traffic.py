@@ -1,0 +1,66 @@
+"""The pre-policy request abstraction.
+
+The workload generator emits :class:`Request` objects; the proxy fleet
+turns each into one :class:`~repro.logmodel.record.LogRecord`.  The
+``component`` tag is simulation ground truth (which traffic model
+produced the request) and never reaches the logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.url import extension_of
+
+
+@dataclass(slots=True)
+class Request:
+    """One client request as it arrives at the filtering proxy."""
+
+    epoch: int
+    c_ip: str
+    user_agent: str
+    host: str
+    path: str = "/"
+    query: str = ""
+    scheme: str = "http"
+    port: int = 80
+    method: str = "GET"
+    content_type: str = "text/html"
+    referer: str = "-"
+    component: str = "browsing"
+
+    @property
+    def ext(self) -> str:
+        """The ``cs-uri-ext`` field derived from the path."""
+        if self.method == "CONNECT":
+            return ""
+        return extension_of(self.path)
+
+
+def connect_request(
+    epoch: int,
+    c_ip: str,
+    user_agent: str,
+    host: str,
+    port: int,
+    component: str,
+) -> Request:
+    """An HTTPS/tunnel CONNECT request.
+
+    Per Section 4 of the paper, path/query/ext are absent from HTTPS
+    log entries — only the host and port are visible to the proxy.
+    """
+    return Request(
+        epoch=epoch,
+        c_ip=c_ip,
+        user_agent=user_agent,
+        host=host,
+        path="",
+        query="",
+        scheme="tcp",
+        port=port,
+        method="CONNECT",
+        content_type="-",
+        component=component,
+    )

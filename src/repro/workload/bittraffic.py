@@ -1,0 +1,80 @@
+"""BitTorrent announce traffic (Section 7.3 of the paper).
+
+Clients announce to HTTP trackers; the announce URL carries the
+content's info hash and the client's peer id (the field the paper uses
+to count unique users).  Announces to ``tracker-proxy.furk.net`` are
+censored by the ``proxy`` keyword; everything else is allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bittorrent import TorrentCatalog
+from repro.bittorrent.catalog import make_peer_id
+from repro.net.useragent import BITTORRENT_AGENTS
+from repro.traffic import Request
+from repro.workload.diurnal import TrafficCalendar
+from repro.workload.population import Client, ClientPopulation
+
+#: Fraction of the population running a BitTorrent client; the paper
+#: sees 38,575 peer ids over 9 days.
+BT_USER_SHARE = 0.10
+
+_EVENTS = ("started", "", "", "", "stopped", "completed")
+
+
+class BitTorrentComponent:
+    """Generates tracker announce requests."""
+
+    def __init__(
+        self,
+        catalog: TorrentCatalog,
+        population: ClientPopulation,
+        calendar: TrafficCalendar,
+        seed: int = 6881,
+    ):
+        self.catalog = catalog
+        self.calendar = calendar
+        rng = np.random.default_rng(seed)
+        pool_size = max(5, int(len(population) * BT_USER_SHARE))
+        indices = rng.choice(len(population), size=pool_size, replace=False)
+        self.users: list[Client] = [population.clients[int(i)] for i in indices]
+        self._peer_ids = [make_peer_id(int(i)) for i in indices]
+        self._agents = [
+            BITTORRENT_AGENTS[int(rng.integers(len(BITTORRENT_AGENTS)))].string
+            for _ in indices
+        ]
+
+    def generate(self, day: str, count: int, rng: np.random.Generator) -> list[Request]:
+        if count == 0:
+            return []
+        epochs = self.calendar.sample_epochs(day, count, rng)
+        requests: list[Request] = []
+        for i in range(count):
+            user_index = int(rng.integers(len(self.users)))
+            client = self.users[user_index]
+            content = self.catalog.sample_content(rng)
+            tracker_host, tracker_port = self.catalog.sample_tracker(rng)
+            event = _EVENTS[int(rng.integers(len(_EVENTS)))]
+            query = (
+                f"info_hash={content.info_hash}"
+                f"&peer_id={self._peer_ids[user_index]}"
+                f"&port={6881 + user_index % 9}"
+                f"&uploaded=0&downloaded=0&left={int(rng.integers(10**6, 10**9))}"
+                "&compact=1"
+            )
+            if event:
+                query += f"&event={event}"
+            requests.append(Request(
+                epoch=int(epochs[i]),
+                c_ip=client.c_ip,
+                user_agent=self._agents[user_index],
+                host=tracker_host,
+                port=tracker_port,
+                path="/announce",
+                query=query,
+                content_type="text/plain",
+                component="bittorrent",
+            ))
+        return requests

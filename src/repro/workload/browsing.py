@@ -1,0 +1,179 @@
+"""The web-browsing traffic component.
+
+Covers ~98.5 % of the volume: the population browsing the site
+universe.  Site choice follows the calibrated popularity weights, URL
+choice follows each site's template mix, HTTPS arises from per-site
+CONNECT shares, and the Aug 3 IM surges are generated as an extra
+stream over the IM-tagged sites (Section 5.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.domains import SiteSpec, expand_template
+from repro.net.useragent import ALL_AGENTS
+from repro.traffic import Request, connect_request
+from repro.workload.diurnal import SurgeEvent, TrafficCalendar
+from repro.workload.population import ClientPopulation
+
+_AGENT_BY_FAMILY = {agent.family: agent.string for agent in ALL_AGENTS}
+
+#: Relative weights of IM-tagged hosts inside a demand surge: Skype
+#: dominates (Table 5 shows it at 29 % of censored traffic during the
+#: 8-10 am peak), with the MSN gateway second.
+_SURGE_HOST_WEIGHTS: dict[str, float] = {
+    "www.skype.com": 0.30,
+    "ui.skype.com": 0.18,
+    "download.skype.com": 0.07,
+    "messenger.live.com": 0.30,
+    "ceipmsn.com": 0.10,
+    "jumblo.com": 0.05,
+}
+
+
+class BrowsingComponent:
+    """Samples browsing requests from the site universe."""
+
+    def __init__(
+        self,
+        sites: list[SiteSpec],
+        population: ClientPopulation,
+        calendar: TrafficCalendar,
+    ):
+        # Google-cache and redirect-host traffic have their own
+        # components; everything else in the universe is browsable.
+        self.sites = [
+            site
+            for site in sites
+            if not site.tagged("google-cache") and not site.tagged("redirect-host")
+        ]
+        weights = np.array([site.weight for site in self.sites], dtype=float)
+        if weights.sum() <= 0:
+            raise ValueError("site universe has no weight")
+        self._site_weights = weights / weights.sum()
+        self._template_weights: list[np.ndarray] = []
+        for site in self.sites:
+            tw = np.array([t.weight for t in site.templates], dtype=float)
+            self._template_weights.append(tw / tw.sum())
+        # Sites whose audience is inherently niche (blocked domains,
+        # circumvention services): their visitors come from the risk
+        # pool, concentrating censorship on few, active users (Fig. 4).
+        risky_tags = {"suspected", "blocked-host", "il", "keyword-host",
+                      "anonymizer"}
+        self._risky_site = np.array(
+            [bool(risky_tags & set(site.tags)) for site in self.sites]
+        )
+        self.population = population
+        self.calendar = calendar
+        self._surge_sites = self._build_surge_pool()
+
+    def _build_surge_pool(self) -> tuple[list[int], np.ndarray]:
+        indices: list[int] = []
+        weights: list[float] = []
+        for i, site in enumerate(self.sites):
+            if site.host in _SURGE_HOST_WEIGHTS:
+                indices.append(i)
+                weights.append(_SURGE_HOST_WEIGHTS[site.host])
+        if not indices:
+            return [], np.empty(0)
+        array = np.array(weights, dtype=float)
+        return indices, array / array.sum()
+
+    def generate(self, day: str, count: int, rng: np.random.Generator) -> list[Request]:
+        """Base browsing requests for one day."""
+        if count == 0:
+            return []
+        epochs = self.calendar.sample_epochs(day, count, rng)
+        site_indices = rng.choice(
+            len(self.sites), size=count, p=self._site_weights
+        )
+        requests = self._materialize(site_indices, epochs, rng)
+        requests.extend(self._generate_surges(day, count, rng))
+        return requests
+
+    def _generate_surges(
+        self, day: str, day_total: int, rng: np.random.Generator
+    ) -> list[Request]:
+        surge_indices, surge_weights = self._surge_sites
+        if not surge_indices:
+            return []
+        requests: list[Request] = []
+        for surge, count in self.calendar.surge_requests(day, day_total):
+            if count == 0:
+                continue
+            epochs = self.calendar.sample_window_epochs(surge, count, rng)
+            chosen = rng.choice(len(surge_indices), size=count, p=surge_weights)
+            site_indices = np.array([surge_indices[i] for i in chosen])
+            requests.extend(self._materialize(site_indices, epochs, rng))
+        return requests
+
+    def _materialize(
+        self,
+        site_indices: np.ndarray,
+        epochs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[Request]:
+        count = len(site_indices)
+        clients = self.population.sample_many(count, rng)
+        # Vectorize template choice by grouping requests per site: one
+        # weighted draw per site instead of one per request.
+        template_indices = np.zeros(count, dtype=np.int64)
+        order = np.argsort(site_indices, kind="stable")
+        sorted_sites = site_indices[order]
+        boundaries = np.flatnonzero(np.diff(sorted_sites)) + 1
+        for block in np.split(order, boundaries):
+            site_index = int(site_indices[block[0]])
+            weights = self._template_weights[site_index]
+            template_indices[block] = rng.choice(
+                len(weights), size=len(block), p=weights
+            )
+        requests: list[Request] = []
+        risk_share = 0.85  # of risky-template requests go to the pool
+        # Page-view clustering: an allowed page fans out into asset
+        # requests from the same client moments later (the paper's
+        # request-level logging inflation); a censored page never
+        # loads its assets, so risky sites do not cluster.
+        last_page_view: dict[int, tuple[object, int]] = {}
+        cluster_share = 0.6
+        for i in range(count):
+            site_index = int(site_indices[i])
+            site = self.sites[site_index]
+            template = site.templates[int(template_indices[i])]
+            client = clients[i]
+            risky = template.risky or self._risky_site[site_index]
+            if risky and rng.random() < risk_share:
+                client = self.population.sample_risk_users(1, rng)[0]
+            epoch = int(epochs[i])
+            if not risky:
+                if template.content_type == "text/html":
+                    last_page_view[site_index] = (client, epoch)
+                else:
+                    view = last_page_view.get(site_index)
+                    if view is not None and rng.random() < cluster_share:
+                        client = view[0]
+                        epoch = view[1] + int(rng.integers(0, 5))
+            agent = (
+                _AGENT_BY_FAMILY.get(template.agent, client.user_agent)
+                if template.agent
+                else client.user_agent
+            )
+            if site.https_share and rng.random() < site.https_share:
+                requests.append(
+                    connect_request(epoch, client.c_ip, agent, site.host, 443,
+                                    component="browsing")
+                )
+                continue
+            path, query = expand_template(template, rng)
+            requests.append(Request(
+                epoch=epoch,
+                c_ip=client.c_ip,
+                user_agent=agent,
+                host=site.host,
+                path=path,
+                query=query,
+                method=template.method,
+                content_type=template.content_type,
+                component="browsing",
+            ))
+        return requests

@@ -1,0 +1,102 @@
+"""Redirect-target traffic: Facebook pages and redirect hosts.
+
+Covers the two policy_redirect mechanisms the paper studies together
+in Sections 5.3 and 6: visits to the watched political Facebook pages
+(custom category, Table 14) and requests to the host-redirect list
+dominated by ``upload.youtube.com`` (Table 7).  They share one
+component so a single boost factor preserves their relative volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import facebook as fb
+from repro.traffic import Request
+from repro.workload.diurnal import TrafficCalendar
+from repro.workload.population import ClientPopulation
+
+#: Share of the component that is Facebook page visits vs redirect
+#: hosts, calibrated from Tables 7 and 14 (upload.youtube.com's 12,978
+#: redirects dominate the ~7,000 page visits).
+PAGE_VISIT_SHARE = 0.347
+
+#: Redirect hosts with their visit weights (within the redirect part).
+REDIRECT_HOST_WEIGHTS: tuple[tuple[str, str, float], ...] = (
+    # (host, path, weight)
+    ("upload.youtube.com", "/my_videos_upload", 0.924),
+    ("upload.youtube.com", "/", 0.061),
+    ("competition.mbc.net", "/vote.php", 0.008),
+    ("sharek.aljazeera.net", "/upload", 0.007),
+)
+
+
+class RedirectTargetsComponent:
+    """Generates page visits plus redirect-host traffic."""
+
+    def __init__(
+        self,
+        population: ClientPopulation,
+        calendar: TrafficCalendar,
+    ):
+        self.population = population
+        self.calendar = calendar
+        self.pages = list(fb.ALL_PAGES)
+        weights = np.array([page.weight for page in self.pages], dtype=float)
+        self._page_weights = weights / weights.sum()
+        hosts = list(fb.PAGE_HOSTS)
+        self._page_hosts = [host for host, _ in hosts]
+        host_weights = np.array([w for _, w in hosts], dtype=float)
+        self._page_host_weights = host_weights / host_weights.sum()
+        redirect_weights = np.array(
+            [w for _, _, w in REDIRECT_HOST_WEIGHTS], dtype=float
+        )
+        self._redirect_weights = redirect_weights / redirect_weights.sum()
+
+    def generate(self, day: str, count: int, rng: np.random.Generator) -> list[Request]:
+        if count == 0:
+            return []
+        epochs = self.calendar.sample_epochs(day, count, rng)
+        clients = self.population.sample_many(count, rng)
+        requests: list[Request] = []
+        for i in range(count):
+            client = clients[i]
+            epoch = int(epochs[i])
+            if rng.random() < PAGE_VISIT_SHARE:
+                requests.append(self._page_visit(epoch, client, rng))
+            else:
+                requests.append(self._redirect_visit(epoch, client, rng))
+        return requests
+
+    def _page_visit(self, epoch: int, client, rng: np.random.Generator) -> Request:
+        page = self.pages[int(rng.choice(len(self.pages), p=self._page_weights))]
+        host = self._page_hosts[
+            int(rng.choice(len(self._page_hosts), p=self._page_host_weights))
+        ]
+        if rng.random() < page.blocked_share:
+            query = fb.BLOCKED_QUERY_FORMS[
+                int(rng.integers(len(fb.BLOCKED_QUERY_FORMS)))
+            ]
+        else:
+            query = fb.ESCAPING_QUERY_FORM
+        return Request(
+            epoch=epoch,
+            c_ip=client.c_ip,
+            user_agent=client.user_agent,
+            host=host,
+            path=f"/{page.name}",
+            query=query,
+            component="redirect-targets",
+        )
+
+    def _redirect_visit(self, epoch: int, client, rng: np.random.Generator) -> Request:
+        index = int(rng.choice(len(REDIRECT_HOST_WEIGHTS), p=self._redirect_weights))
+        host, path, _ = REDIRECT_HOST_WEIGHTS[index]
+        return Request(
+            epoch=epoch,
+            c_ip=client.c_ip,
+            user_agent=client.user_agent,
+            host=host,
+            path=path,
+            component="redirect-targets",
+        )

@@ -1,0 +1,59 @@
+"""Google-cache traffic (Section 7.4 of the paper).
+
+A small number of users fetch cached copies of pages — including pages
+whose origin sites are censored — through
+``webcache.googleusercontent.com``.  Nearly all of these fetches are
+allowed; the rare censored ones carry a blacklisted keyword in the
+cache URL itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.domains import SiteSpec, expand_template
+from repro.traffic import Request
+from repro.workload.diurnal import TrafficCalendar
+from repro.workload.population import ClientPopulation
+
+
+class GoogleCacheComponent:
+    """Generates cache fetches from the webcache site spec."""
+
+    def __init__(
+        self,
+        sites: list[SiteSpec],
+        population: ClientPopulation,
+        calendar: TrafficCalendar,
+    ):
+        cache_sites = [site for site in sites if site.tagged("google-cache")]
+        if not cache_sites:
+            raise ValueError("universe has no google-cache site")
+        self.site = cache_sites[0]
+        weights = np.array([t.weight for t in self.site.templates], dtype=float)
+        self._template_weights = weights / weights.sum()
+        self.population = population
+        self.calendar = calendar
+
+    def generate(self, day: str, count: int, rng: np.random.Generator) -> list[Request]:
+        if count == 0:
+            return []
+        epochs = self.calendar.sample_epochs(day, count, rng)
+        clients = self.population.sample_many(count, rng)
+        template_indices = rng.choice(
+            len(self.site.templates), size=count, p=self._template_weights
+        )
+        requests: list[Request] = []
+        for i in range(count):
+            template = self.site.templates[int(template_indices[i])]
+            path, query = expand_template(template, rng)
+            requests.append(Request(
+                epoch=int(epochs[i]),
+                c_ip=clients[i].c_ip,
+                user_agent=clients[i].user_agent,
+                host=self.site.host,
+                path=path,
+                query=query,
+                component="google-cache",
+            ))
+        return requests

@@ -1,0 +1,79 @@
+"""Tor traffic component (Section 7.1 of the paper).
+
+Two traffic classes: Tor_http — directory-protocol requests to relays'
+Dir ports (73 % of the paper's Tor traffic) — and Tor_onion — OR
+connections carrying circuits (CONNECT to a relay's OR port).  Volume
+peaks on the Aug 3 protest day (Fig. 8a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeline import PROTEST_DAY
+from repro.tornet import TorDirectory
+from repro.traffic import Request, connect_request
+from repro.workload.diurnal import TrafficCalendar
+from repro.workload.population import Client, ClientPopulation
+
+#: Share of Tor requests that are directory (HTTP) signaling.
+TOR_HTTP_SHARE = 0.73
+
+#: Extra volume multiplier per day (relative to the component rate).
+TOR_DAY_MULTIPLIERS: dict[str, float] = {
+    PROTEST_DAY: 1.9,
+    "2011-08-04": 1.3,
+}
+
+#: Fraction of the population that uses Tor at all.
+TOR_USER_SHARE = 0.004
+
+
+class TorComponent:
+    """Generates Tor directory and OR-port traffic."""
+
+    def __init__(
+        self,
+        directory: TorDirectory,
+        population: ClientPopulation,
+        calendar: TrafficCalendar,
+        seed: int = 443,
+    ):
+        self.directory = directory
+        self.calendar = calendar
+        self._dir_relays = [r for r in directory.relays if r.dir_port != 0]
+        rng = np.random.default_rng(seed)
+        pool_size = max(3, int(len(population) * TOR_USER_SHARE))
+        indices = rng.choice(len(population), size=pool_size, replace=False)
+        self.users: list[Client] = [population.clients[int(i)] for i in indices]
+
+    def generate(self, day: str, count: int, rng: np.random.Generator) -> list[Request]:
+        count = int(round(count * TOR_DAY_MULTIPLIERS.get(day, 1.0)))
+        if count == 0:
+            return []
+        epochs = self.calendar.sample_epochs(day, count, rng)
+        requests: list[Request] = []
+        for i in range(count):
+            client = self.users[int(rng.integers(len(self.users)))]
+            epoch = int(epochs[i])
+            if rng.random() < TOR_HTTP_SHARE and self._dir_relays:
+                # Directory fetch: plain HTTP to the relay's Dir port.
+                relay = self._dir_relays[int(rng.integers(len(self._dir_relays)))]
+                requests.append(Request(
+                    epoch=epoch,
+                    c_ip=client.c_ip,
+                    user_agent="-",  # the tor daemon sends no UA
+                    host=relay.ip,
+                    port=relay.dir_port,
+                    path=self.directory.sample_directory_path(rng),
+                    content_type="application/octet-stream",
+                    component="tor-http",
+                ))
+            else:
+                # Circuit traffic: CONNECT to the relay's OR port.
+                relay = self.directory.sample_relay(rng)
+                requests.append(connect_request(
+                    epoch, client.c_ip, "-", relay.ip, relay.or_port,
+                    component="tor-onion",
+                ))
+        return requests

@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+The scenario build is the expensive step (~3 s), so it is session
+-scoped: every integration-style test shares one simulated deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_scenario
+from repro.workload.config import small_config
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """A small but complete simulated deployment."""
+    return build_scenario(small_config(50_000, seed=11))
+
+
+@pytest.fixture(scope="session")
+def report(scenario):
+    """The full analysis report over the shared scenario."""
+    from repro.analysis.report import build_report
+
+    return build_report(scenario)

@@ -1,0 +1,84 @@
+"""Tests for analysis.categories (Fig. 3)."""
+
+import pytest
+
+from repro.analysis.categories import (
+    OTHER_LABEL,
+    censored_category_distribution,
+)
+from repro.catalog.categories import Category as C
+from repro.categorizer import TrustedSourceCategorizer
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+def categorizer_with(entries: dict[str, str]) -> TrustedSourceCategorizer:
+    categorizer = TrustedSourceCategorizer()
+    for host, category in entries.items():
+        categorizer.add_host(host, category)
+    return categorizer
+
+
+class TestFig3:
+    def test_distribution(self):
+        categorizer = categorizer_with({
+            "cdn.example.com": C.CONTENT_SERVER,
+            "video.example.org": C.STREAMING_MEDIA,
+        })
+        frame = make_frame(
+            [censored_row(cs_host="cdn.example.com")] * 3
+            + [censored_row(cs_host="video.example.org")]
+            + [allowed_row(cs_host="cdn.example.com")] * 10
+        )
+        shares = censored_category_distribution(frame, categorizer)
+        assert shares[0].category == C.CONTENT_SERVER
+        assert shares[0].share_pct == pytest.approx(75.0)
+        assert shares[1].category == C.STREAMING_MEDIA
+
+    def test_small_categories_fold_into_other(self):
+        categorizer = categorizer_with({
+            "big.example.com": C.CONTENT_SERVER,
+            "tiny.example.org": C.GAMES,
+        })
+        frame = make_frame(
+            [censored_row(cs_host="big.example.com")] * 999
+            + [censored_row(cs_host="tiny.example.org")]
+        )
+        shares = censored_category_distribution(
+            frame, categorizer, other_threshold_pct=1.0
+        )
+        labels = [s.category for s in shares]
+        assert labels == [C.CONTENT_SERVER, OTHER_LABEL]
+
+    def test_empty_frame(self):
+        frame = make_frame([allowed_row()])
+        assert censored_category_distribution(
+            frame.where(frame.col("x_exception_id") != "-"),
+            TrustedSourceCategorizer(),
+        ) == []
+
+    def test_path_override_applies(self):
+        categorizer = categorizer_with({
+            "www.facebook.com": C.SOCIAL_NETWORKING,
+        })
+        frame = make_frame([
+            censored_row(cs_host="www.facebook.com",
+                         cs_uri_path="/plugins/like.php"),
+        ])
+        shares = censored_category_distribution(frame, categorizer)
+        assert shares[0].category == C.CONTENT_SERVER
+
+    def test_scenario_content_server_leads(self, scenario):
+        """Fig. 3's headline: Content Server ranks first (plugin and
+        CDN URLs), Streaming Media close behind; Social Networking
+        ranks low despite facebook's censored volume."""
+        shares = censored_category_distribution(
+            scenario.full, scenario.categorizer
+        )
+        by_category = {s.category: s.share_pct for s in shares}
+        top = shares[0].category
+        assert top in (C.CONTENT_SERVER, C.STREAMING_MEDIA)
+        assert by_category.get(C.CONTENT_SERVER, 0) > 15.0
+        assert by_category.get(C.INSTANT_MESSAGING, 0) > 5.0
+        assert by_category.get(C.SOCIAL_NETWORKING, 0) < by_category[
+            C.CONTENT_SERVER
+        ]

@@ -1,0 +1,167 @@
+"""Tests for analysis.anonymizers (7.2), analysis.p2p (7.3) and
+analysis.googlecache (7.4)."""
+
+import pytest
+
+from repro.analysis.anonymizers import anonymizer_analysis
+from repro.analysis.googlecache import (
+    CACHE_HOST,
+    cache_targets,
+    google_cache_analysis,
+)
+from repro.analysis.p2p import bittorrent_analysis
+from repro.bittorrent import TitleDatabase, TorrentCatalog
+from repro.catalog.categories import Category as C
+from repro.categorizer import TrustedSourceCategorizer
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+class TestAnonymizers:
+    def make_categorizer(self):
+        categorizer = TrustedSourceCategorizer()
+        categorizer.add_host("clean.vpn.example", C.ANONYMIZER)
+        categorizer.add_host("mixed.vpn.example", C.ANONYMIZER)
+        categorizer.add_host("www.normal.com", C.PORTAL_SITES)
+        return categorizer
+
+    def test_fig10_statistics(self):
+        frame = make_frame(
+            [allowed_row(cs_host="clean.vpn.example")] * 4
+            + [allowed_row(cs_host="mixed.vpn.example")] * 6
+            + [censored_row(cs_host="mixed.vpn.example")] * 2
+            + [allowed_row(cs_host="www.normal.com")] * 8
+        )
+        result = anonymizer_analysis(frame, self.make_categorizer())
+        assert result.hosts == 2
+        assert result.requests == 12
+        assert result.never_filtered_hosts == 1
+        assert result.partially_filtered_hosts == 1
+        assert result.ratio_cdf == ((3.0, 1.0),)  # 6 allowed / 2 censored
+        assert result.majority_allowed_pct == 100.0
+
+    def test_no_anonymizers(self):
+        frame = make_frame([allowed_row(cs_host="www.normal.com")])
+        categorizer = TrustedSourceCategorizer()
+        categorizer.add_host("www.normal.com", C.PORTAL_SITES)
+        result = anonymizer_analysis(frame, categorizer)
+        assert result.hosts == 0
+        assert result.requests == 0
+
+    def test_scenario_shape(self, scenario):
+        """Section 7.2: most anonymizer hosts are never filtered, and
+        among the filtered ones outcomes are mixed."""
+        result = anonymizer_analysis(scenario.full, scenario.categorizer)
+        assert result.hosts > 50
+        assert result.never_filtered_hosts_pct > 40.0
+        assert result.partially_filtered_hosts > 5
+        assert 0.1 < result.requests_share_pct < 1.5
+
+
+class TestBitTorrent:
+    def make_inputs(self):
+        catalog = TorrentCatalog(50, seed=33)
+        titledb = TitleDatabase(catalog, resolve_rate=1.0)
+        content = catalog.contents[0]
+        rows = [
+            allowed_row(
+                cs_host="tracker.openbittorrent.com",
+                cs_uri_path="/announce",
+                cs_uri_query=(
+                    f"info_hash={content.info_hash}&peer_id=-UT2210-000000000001"
+                    "&port=6881&left=100"
+                ),
+            ),
+            allowed_row(
+                cs_host="tracker.publicbt.com",
+                cs_uri_path="/announce",
+                cs_uri_query=(
+                    f"info_hash={content.info_hash}&peer_id=-UT2210-000000000002"
+                    "&port=6881&left=100"
+                ),
+            ),
+            censored_row(
+                cs_host="tracker-proxy.furk.net",
+                cs_uri_path="/announce",
+                cs_uri_query=(
+                    f"info_hash={content.info_hash}&peer_id=-UT2210-000000000001"
+                    "&port=6881&left=100"
+                ),
+            ),
+            allowed_row(cs_host="www.other.com"),
+        ]
+        return make_frame(rows), titledb
+
+    def test_counts(self):
+        frame, titledb = self.make_inputs()
+        result = bittorrent_analysis(frame, titledb)
+        assert result.announce_requests == 3
+        assert result.censored_announces == 1
+        assert result.unique_users == 2
+        assert result.unique_contents == 1
+        assert result.censored_tracker_hosts == ("tracker-proxy.furk.net",)
+
+    def test_scenario_shape(self, scenario):
+        """Section 7.3: announces are nearly all allowed; the only
+        censored tracker carries 'proxy' in its name; circumvention
+        and IM software is shared over BitTorrent."""
+        titledb = TitleDatabase(scenario.generator.torrent_catalog)
+        result = bittorrent_analysis(scenario.full, titledb)
+        assert result.announce_requests > 100
+        assert result.allowed_share_pct > 97.0
+        assert set(result.censored_tracker_hosts) <= {"tracker-proxy.furk.net"}
+        assert 65.0 < result.resolve_rate_pct < 90.0
+        assert result.circumvention_announces > 0
+        assert result.im_software_announces > 0
+        assert result.unique_users > 20
+
+
+class TestGoogleCache:
+    def test_targets_parsed(self):
+        frame = make_frame([
+            allowed_row(
+                cs_host=CACHE_HOST,
+                cs_uri_path="/search",
+                cs_uri_query="q=cache:AbC123:www.panet.co.il/online/articles/1",
+            ),
+        ])
+        assert cache_targets(frame) == ["www.panet.co.il"]
+
+    def test_censored_content_detected(self):
+        frame = make_frame([
+            allowed_row(
+                cs_host=CACHE_HOST,
+                cs_uri_path="/search",
+                cs_uri_query="q=cache:AbC:aawsat.com/details.asp",
+            ),
+            allowed_row(
+                cs_host=CACHE_HOST,
+                cs_uri_path="/search",
+                cs_uri_query="q=cache:AbC:www.harmless.com/page",
+            ),
+            censored_row(
+                cs_host=CACHE_HOST,
+                cs_uri_path="/search",
+                cs_uri_query="q=cache:AbC:www.israel-site.com/page",
+            ),
+        ])
+        result = google_cache_analysis(frame, {"aawsat.com"})
+        assert result.requests == 3
+        assert result.allowed == 2
+        assert result.censored == 1
+        assert result.censored_content_fetches == 1
+        assert result.censored_targets == ("aawsat.com",)
+
+    def test_scenario_cache_bypasses_censorship(self, scenario):
+        """Section 7.4: cache fetches of otherwise-censored pages are
+        almost all allowed."""
+        from repro.analysis.stringfilter import recover_censored_domains
+
+        suspected = {
+            r.domain for r in recover_censored_domains(scenario.full)
+        }
+        result = google_cache_analysis(
+            scenario.full, suspected | {"panet.co.il", "free-syria.com"}
+        )
+        assert result.requests > 20
+        assert result.allowed > result.censored * 10
+        assert result.censored_content_fetches > 0

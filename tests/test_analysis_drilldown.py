@@ -1,0 +1,89 @@
+"""Tests for the per-domain drill-down (analysis.drilldown)."""
+
+import pytest
+
+from repro.analysis.drilldown import compare_domains, domain_profile
+from tests.helpers import allowed_row, censored_row, error_row, make_frame, proxied_row
+
+
+@pytest.fixture
+def frame():
+    return make_frame(
+        [allowed_row(cs_host="www.facebook.com", cs_uri_path="/home.php")] * 4
+        + [censored_row(cs_host="www.facebook.com",
+                        cs_uri_path="/plugins/like.php")] * 3
+        + [error_row("tcp_error", cs_host="www.facebook.com",
+                     cs_uri_path="/home.php")]
+        + [proxied_row(cs_host="ar-ar.facebook.com", cs_uri_path="/")]
+        + [censored_row(cs_host="www.metacafe.com", cs_uri_path="/")] * 2
+    )
+
+
+class TestDomainProfile:
+    def test_counts(self, frame):
+        profile = domain_profile(frame, "facebook.com")
+        assert profile.requests == 9
+        assert profile.allowed == 4
+        assert profile.censored == 3
+        assert profile.errors == 1
+        assert profile.proxied == 1
+        assert profile.censored_pct == pytest.approx(300 / 9)
+
+    def test_hosts_aggregated(self, frame):
+        profile = domain_profile(frame, "facebook.com")
+        hosts = dict(profile.hosts)
+        assert hosts["www.facebook.com"] == 8
+        assert hosts["ar-ar.facebook.com"] == 1
+
+    def test_path_attribution(self, frame):
+        profile = domain_profile(frame, "facebook.com")
+        censored_paths = {p.path: p for p in profile.top_censored_paths}
+        assert censored_paths["/plugins/like.php"].censored == 3
+        assert censored_paths["/plugins/like.php"].allowed == 0
+        allowed_paths = {p.path: p for p in profile.top_allowed_paths}
+        assert allowed_paths["/home.php"].allowed == 4
+
+    def test_exception_mix(self, frame):
+        profile = domain_profile(frame, "facebook.com")
+        exceptions = dict(profile.exceptions)
+        assert exceptions["policy_denied"] == 3
+        assert exceptions["tcp_error"] == 1
+
+    def test_flags(self, frame):
+        assert domain_profile(frame, "facebook.com").mixed
+        assert domain_profile(frame, "metacafe.com").fully_blocked
+
+    def test_unknown_domain(self, frame):
+        profile = domain_profile(frame, "nosuch.com")
+        assert profile.requests == 0
+        assert not profile.fully_blocked
+
+    def test_censored_by_day(self, frame):
+        profile = domain_profile(frame, "facebook.com")
+        assert profile.censored_by_day == (("2011-08-03", 3),)
+
+    def test_compare_sorted_by_censored(self, frame):
+        profiles = compare_domains(frame, ["metacafe.com", "facebook.com"])
+        assert [p.domain for p in profiles] == ["facebook.com", "metacafe.com"]
+
+
+class TestScenarioDrilldown:
+    def test_facebook_is_mixed(self, scenario):
+        profile = domain_profile(scenario.full, "facebook.com")
+        assert profile.mixed
+        # the censored paths are the plugin endpoints
+        blocked = [p.path for p in profile.top_censored_paths]
+        assert any(path.startswith(("/plugins/", "/extern/"))
+                   for path in blocked)
+
+    def test_metacafe_fully_blocked(self, scenario):
+        profile = domain_profile(scenario.full, "metacafe.com")
+        assert profile.fully_blocked
+        assert profile.censored_by_day  # blocked every day it was visited
+
+    def test_live_dot_com_split_by_host(self, scenario):
+        profile = domain_profile(scenario.full, "live.com")
+        hosts = dict(profile.hosts)
+        assert "messenger.live.com" in hosts
+        assert "mail.live.com" in hosts
+        assert profile.mixed  # messenger blocked, mail open

@@ -1,0 +1,65 @@
+"""Tests for the censorship-economics indices (analysis.economics)."""
+
+import pytest
+
+from repro.analysis.economics import censorship_economics, compare_policies
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+class TestIndices:
+    def test_collateral_vs_targeted(self):
+        frame = make_frame(
+            # mixed domain: its censored requests are collateral
+            [censored_row(cs_host="www.facebook.com",
+                          cs_uri_path="/plugins/like.php")] * 3
+            + [allowed_row(cs_host="www.facebook.com")] * 7
+            # never-allowed domain: targeted
+            + [censored_row(cs_host="www.metacafe.com")] * 2
+        )
+        result = censorship_economics(frame)
+        assert result.censored_total == 5
+        assert result.collateral_requests == 3
+        assert result.targeted_requests == 2
+        assert result.collateral_index_pct == pytest.approx(60.0)
+        assert result.precision_index_pct == pytest.approx(40.0)
+
+    def test_stealth_counts_unaffected_users(self):
+        frame = make_frame([
+            censored_row(c_ip="u1", cs_user_agent="A",
+                         cs_host="www.metacafe.com"),
+            allowed_row(c_ip="u2", cs_user_agent="A"),
+            allowed_row(c_ip="u3", cs_user_agent="A"),
+        ])
+        result = censorship_economics(frame)
+        assert result.total_users == 3
+        assert result.unaffected_users == 2
+        assert result.stealth_index_pct == pytest.approx(200 / 3)
+
+    def test_empty_censorship(self):
+        frame = make_frame([allowed_row()] * 4)
+        result = censorship_economics(frame)
+        assert result.censored_total == 0
+        assert result.collateral_index_pct == 0.0
+        assert result.stealth_index_pct == 100.0
+
+    def test_scenario_collateral_dominates(self, scenario):
+        """The paper's Section 8 reading: most censored volume is
+        keyword collateral on otherwise-open domains, and the vast
+        majority of users never notice."""
+        result = censorship_economics(scenario.user)
+        assert result.collateral_index_pct > 35.0
+        assert result.stealth_index_pct > 85.0
+        assert (
+            result.collateral_requests + result.targeted_requests
+            == result.censored_total
+        )
+
+    def test_compare_policies(self):
+        base = make_frame(
+            [censored_row(cs_host="www.facebook.com")] * 2
+            + [allowed_row(cs_host="www.facebook.com")] * 2
+        )
+        alternative = make_frame([allowed_row(cs_host="www.facebook.com")] * 4)
+        comparison = compare_policies(base, alternative)
+        assert comparison["collateral_index_pct"][0] == pytest.approx(100.0)
+        assert comparison["collateral_index_pct"][1] == 0.0

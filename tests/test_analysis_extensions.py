@@ -1,0 +1,130 @@
+"""Tests for the extension analyses: the HTTPS MITM check, the
+keyword weather report, and the software-agent study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.https_mitm import https_mitm_check
+from repro.analysis.users import software_agent_analysis
+from repro.analysis.weather import keyword_weather
+from repro.policy.syria import KEYWORDS
+from repro.timeline import day_epoch
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+class TestMitmCheck:
+    def test_clean_https_shows_no_evidence(self):
+        frame = make_frame([
+            allowed_row(cs_method="CONNECT", cs_uri_port=443,
+                        cs_uri_path="-", cs_uri_query="-"),
+        ])
+        result = https_mitm_check(frame)
+        assert result.https_requests == 1
+        assert not result.interception_evidence
+
+    def test_decrypted_fields_are_flagged(self):
+        frame = make_frame([
+            allowed_row(cs_method="CONNECT", cs_uri_port=443,
+                        cs_host="www.facebook.com",
+                        cs_uri_path="/login.php", cs_uri_query="email=x"),
+        ])
+        result = https_mitm_check(frame)
+        assert result.interception_evidence
+        assert result.suspicious_hosts == ("www.facebook.com",)
+
+    def test_http_traffic_ignored(self):
+        frame = make_frame([allowed_row(cs_uri_path="/page")])
+        result = https_mitm_check(frame)
+        assert result.https_requests == 0
+
+    def test_scenario_shows_no_interception(self, scenario):
+        """Like the paper: the simulated proxies do not intercept TLS,
+        and the logs prove it."""
+        result = https_mitm_check(scenario.full)
+        assert result.https_requests > 0
+        assert not result.interception_evidence
+
+
+class TestKeywordWeather:
+    def make_frame(self):
+        day1 = day_epoch("2011-08-01") + 100
+        day2 = day_epoch("2011-08-02") + 100
+        rows = (
+            [censored_row(cs_uri_query="u=proxy", epoch=day1)] * 2
+            + [censored_row(cs_uri_query="u=proxy", epoch=day2)] * 6
+            + [censored_row(cs_uri_path="/israel-x", epoch=day1)]
+            + [allowed_row(epoch=day1)] * 5
+        )
+        return make_frame(rows)
+
+    def test_series(self):
+        weather = keyword_weather(self.make_frame(), ("proxy", "israel"))
+        assert weather.series("proxy") == [
+            ("2011-08-01", 2), ("2011-08-02", 6),
+        ]
+        assert weather.series("israel") == [
+            ("2011-08-01", 1), ("2011-08-02", 0),
+        ]
+
+    def test_share_series(self):
+        weather = keyword_weather(self.make_frame(), ("proxy",))
+        shares = dict(weather.share_series("proxy"))
+        assert shares["2011-08-01"] == pytest.approx(2 / 3)
+        assert shares["2011-08-02"] == pytest.approx(1.0)
+
+    def test_anomaly_detection(self):
+        day1 = day_epoch("2011-08-01") + 100
+        rows = []
+        # a keyword with steady small shares, then a burst
+        for offset, count in enumerate((2, 2, 2, 20)):
+            epoch = day1 + offset * 86400
+            rows += [censored_row(cs_uri_query="u=proxy", epoch=epoch)] * count
+            rows += [censored_row(cs_host="www.blocked.org", epoch=epoch)] * 20
+        weather = keyword_weather(make_frame(rows), ("proxy",))
+        anomalies = weather.anomalies(factor=2.5)
+        assert ("proxy", "2011-08-04", pytest.approx(20 / 22 / (2 / 22), rel=0.01)) in [
+            (k, d, pytest.approx(r, rel=0.01)) for k, d, r in anomalies
+        ] or any(d == "2011-08-04" for _, d, _ in anomalies)
+
+    def test_scenario_proxy_every_day(self, scenario):
+        weather = keyword_weather(scenario.full, KEYWORDS)
+        proxy_series = weather.series("proxy")
+        assert len(proxy_series) == 9  # all log days
+        august = [count for day, count in proxy_series if day.startswith("2011-08")]
+        assert all(count > 0 for count in august)
+
+
+class TestSoftwareAgents:
+    def test_identifies_software_retries(self):
+        rows = (
+            [censored_row(c_ip="u1", cs_user_agent="Skype WISPr",
+                          cs_host="ui.skype.com")] * 5
+            + [allowed_row(c_ip="u2",
+                           cs_user_agent="Mozilla/5.0 (Windows NT 6.1) "
+                                         "AppleWebKit/534.30 (KHTML, like Gecko)"
+                                         " Chrome/12.0.742.122 Safari/534.30")]
+        )
+        result = software_agent_analysis(make_frame(rows))
+        assert result
+        top = result[0]
+        assert top.user_agent == "Skype WISPr"
+        assert top.censored == 5
+        assert top.censored_pct == 100.0
+        assert top.top_censored_host == "ui.skype.com"
+
+    def test_browsers_excluded(self):
+        rows = [allowed_row(cs_user_agent="CustomBot/1.0")]
+        result = software_agent_analysis(
+            make_frame(rows), interactive_agents=frozenset({"CustomBot/1.0"})
+        )
+        assert result == []
+
+    def test_scenario_skype_updater_visible(self, scenario):
+        """The paper's Section 4 note: software agents repeatedly
+        hitting censored endpoints."""
+        rows = software_agent_analysis(scenario.user)
+        by_agent = {row.user_agent: row for row in rows}
+        skype = by_agent.get("Skype WISPr")
+        if skype is not None and skype.requests >= 3:
+            assert skype.censored_pct > 90.0
+            assert "skype" in (skype.top_censored_host or "")

@@ -1,0 +1,123 @@
+"""Tests for analysis.ipfilter (Tables 11 and 12)."""
+
+import pytest
+
+from repro.analysis.ipfilter import (
+    censored_anonymizer_addresses,
+    country_censorship_ratio,
+    ipv4_subset,
+    israeli_subnets,
+)
+from repro.catalog.categories import Category as C
+from repro.categorizer import TrustedSourceCategorizer
+from repro.geoip import GeoIPDatabase, builtin_registry
+from repro.net.ip import parse_network
+from tests.helpers import allowed_row, censored_row, make_frame, proxied_row
+
+
+@pytest.fixture
+def geo():
+    return GeoIPDatabase([
+        (parse_network("84.229.0.0/16"), "IL"),
+        (parse_network("145.0.0.0/11"), "NL"),
+    ])
+
+
+class TestIpv4Subset:
+    def test_filters_to_ip_hosts(self):
+        frame = make_frame([
+            allowed_row(cs_host="1.2.3.4"),
+            allowed_row(cs_host="a.com"),
+            censored_row(cs_host="84.229.0.1"),
+        ])
+        subset = ipv4_subset(frame)
+        assert len(subset) == 2
+        assert set(subset.col("cs_host")) == {"1.2.3.4", "84.229.0.1"}
+
+
+class TestTable11:
+    def test_ratios(self, geo):
+        frame = make_frame(
+            [censored_row(cs_host="84.229.0.1")] * 2
+            + [allowed_row(cs_host="84.229.0.2")] * 2
+            + [allowed_row(cs_host="145.0.0.9")] * 9
+            + [censored_row(cs_host="145.0.0.10")]
+        )
+        rows = country_censorship_ratio(ipv4_subset(frame), geo)
+        assert [r.country for r in rows] == ["IL", "NL"]
+        assert rows[0].ratio_pct == pytest.approx(50.0)
+        assert rows[1].ratio_pct == pytest.approx(10.0)
+
+    def test_countries_without_censorship_omitted(self, geo):
+        frame = make_frame([allowed_row(cs_host="145.0.0.9")])
+        assert country_censorship_ratio(ipv4_subset(frame), geo) == []
+
+    def test_empty_frame(self, geo):
+        from repro.frame.io import empty_frame
+
+        assert country_censorship_ratio(empty_frame(), geo) == []
+
+    def test_israel_highest_ratio_on_scenario(self, scenario):
+        """Table 11's headline: Israel has by far the highest ratio
+        among countries with real traffic volume."""
+        rows = country_censorship_ratio(
+            ipv4_subset(scenario.full), builtin_registry()
+        )
+        by_country = {r.country: r for r in rows}
+        assert "IL" in by_country
+        il_ratio = by_country["IL"].ratio_pct
+        # NL carries the bulk of IP traffic with a tiny ratio
+        if "NL" in by_country:
+            assert il_ratio > by_country["NL"].ratio_pct * 4
+
+
+class TestTable12:
+    def test_subnet_stats(self):
+        frame = make_frame(
+            [censored_row(cs_host="84.229.0.1")] * 2
+            + [censored_row(cs_host="84.229.0.2")]
+            + [allowed_row(cs_host="212.150.0.5")] * 3
+            + [proxied_row(cs_host="84.229.0.3")]
+        )
+        rows = israeli_subnets(
+            ipv4_subset(frame),
+            (parse_network("84.229.0.0/16"), parse_network("212.150.0.0/16")),
+        )
+        blocked = rows[0]
+        assert blocked.subnet == "84.229.0.0/16"
+        assert blocked.censored_requests == 3
+        assert blocked.censored_ips == 2
+        assert blocked.proxied_requests == 1
+        open_net = rows[1]
+        assert open_net.allowed_requests == 3
+        assert open_net.allowed_ips == 1
+
+    def test_scenario_blocked_vs_open_subnets(self, scenario):
+        """Table 12's two groups: wholesale-blocked subnets vs the
+        mostly-allowed 212.150.0.0/16."""
+        subnets = scenario.policy.blocked_subnets + (
+            parse_network("212.150.0.0/16"),
+        )
+        rows = israeli_subnets(ipv4_subset(scenario.full), subnets)
+        by_subnet = {r.subnet: r for r in rows}
+        open_net = by_subnet["212.150.0.0/16"]
+        assert open_net.allowed_requests >= open_net.censored_requests
+        blocked_total = sum(
+            by_subnet[str(s)].allowed_requests
+            for s in scenario.policy.blocked_subnets
+        )
+        assert blocked_total == 0  # wholesale-blocked: nothing allowed
+
+
+class TestAnonymizerCheck:
+    def test_counts(self, geo):
+        categorizer = TrustedSourceCategorizer()
+        categorizer.add_host("84.229.0.1", C.ANONYMIZER)
+        frame = make_frame([
+            censored_row(cs_host="84.229.0.1"),
+            censored_row(cs_host="84.229.0.2"),
+        ])
+        anonymizers, total = censored_anonymizer_addresses(
+            ipv4_subset(frame), geo, categorizer, country="IL"
+        )
+        assert (anonymizers, total) == (1, 2)

@@ -1,0 +1,166 @@
+"""Tests for analysis.proxies (Fig 7, Table 6) and analysis.redirects
+(Table 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.proxies import (
+    category_labels_by_proxy,
+    censored_domain_vectors,
+    proxy_load_timeseries,
+    proxy_names_column,
+    proxy_similarity,
+)
+from repro.analysis.redirects import (
+    followup_requests_after_redirect,
+    redirect_hosts,
+)
+from repro.logmodel.fields import proxy_ip
+from repro.timeline import PROTEST_DAY, day_epoch
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+def on(proxy: int, **kw) -> dict:
+    kw["s_ip"] = proxy_ip(proxy)
+    return kw
+
+
+class TestProxyNames:
+    def test_column(self):
+        frame = make_frame([
+            allowed_row(**on(42)), allowed_row(**on(48)),
+        ])
+        assert proxy_names_column(frame).tolist() == ["SG-42", "SG-48"]
+
+
+class TestSimilarity:
+    def test_table6_structure(self):
+        day = PROTEST_DAY
+        epoch = day_epoch(day) + 100
+        rows = (
+            # SG-43 and SG-44 censor the same domains -> similar
+            [censored_row(cs_host="www.facebook.com", epoch=epoch, **on(43))] * 3
+            + [censored_row(cs_host="www.skype.com", epoch=epoch, **on(43))]
+            + [censored_row(cs_host="www.facebook.com", epoch=epoch, **on(44))] * 3
+            + [censored_row(cs_host="www.skype.com", epoch=epoch, **on(44))]
+            # SG-48 censors something entirely different
+            + [censored_row(cs_host="www.metacafe.com", epoch=epoch, **on(48))] * 4
+        )
+        result = proxy_similarity(make_frame(rows), day=day)
+        assert result.value("SG-43", "SG-44") == pytest.approx(1.0)
+        assert result.value("SG-43", "SG-48") == 0.0
+        assert result.value("SG-48", "SG-48") == pytest.approx(1.0)
+
+    def test_day_filter(self):
+        other_day = day_epoch("2011-08-04") + 100
+        rows = [censored_row(cs_host="a.com", epoch=other_day, **on(43))]
+        vectors = censored_domain_vectors(make_frame(rows), day=PROTEST_DAY)
+        assert vectors["SG-43"] == {}
+
+    def test_scenario_structure(self, scenario):
+        """The paper's Table 6 shape: SG-48 is the odd one out (its
+        censored vector is dominated by the redirected metacafe
+        traffic) while the other proxies form a similar cluster.
+        Computed over the full period — at test scale a single day is
+        too sparse for stable cosines."""
+        result = proxy_similarity(scenario.full)
+        cluster = result.value("SG-43", "SG-46")
+        outlier = np.mean([
+            result.value("SG-48", name)
+            for name in ("SG-42", "SG-43", "SG-44", "SG-46", "SG-47")
+        ])
+        assert cluster > 0.55
+        assert outlier < 0.50
+        assert cluster > outlier + 0.1
+        # SG-45 receives a slice of the redirected domains, so it is
+        # SG-48's closest peer.
+        sg48_row = {
+            name: result.value("SG-48", name)
+            for name in result.proxies
+            if name != "SG-48"
+        }
+        top_two = sorted(sg48_row, key=sg48_row.get, reverse=True)[:2]
+        assert "SG-45" in top_two
+
+
+class TestLoadTimeseries:
+    def test_fig7_shares(self):
+        epoch = day_epoch(PROTEST_DAY) + 1800
+        rows = [allowed_row(epoch=epoch, **on(42))] * 3 + [
+            allowed_row(epoch=epoch, **on(43))
+        ]
+        series = proxy_load_timeseries(
+            make_frame(rows), day_epoch(PROTEST_DAY), day_epoch(PROTEST_DAY) + 3600
+        )
+        sg42 = series.proxies.index("SG-42")
+        assert series.total_shares[sg42][0] == pytest.approx(75.0)
+        assert series.total_shares[:, 0].sum() == pytest.approx(100.0)
+
+    def test_load_roughly_balanced_on_scenario(self, scenario):
+        start = day_epoch("2011-08-03")
+        series = proxy_load_timeseries(scenario.full, start, start + 86400,
+                                       bin_seconds=86400)
+        shares = series.total_shares[:, 0]
+        assert shares.max() < 25.0  # fair balance across 7 proxies
+        assert shares.min() > 5.0
+
+    def test_sg48_overrepresented_in_censored(self, scenario):
+        start = day_epoch("2011-08-03")
+        series = proxy_load_timeseries(scenario.full, start, start + 86400,
+                                       bin_seconds=86400)
+        sg48 = series.proxies.index("SG-48")
+        assert series.censored_shares[sg48][0] > series.total_shares[sg48][0] * 1.5
+
+
+class TestCategoryLabels:
+    def test_paper_configuration_split(self, scenario):
+        labels = category_labels_by_proxy(scenario.full)
+        assert "none" in labels["SG-43"]
+        assert "none" in labels["SG-48"]
+        assert "unavailable" in labels["SG-42"]
+        assert "none" not in labels["SG-42"]
+
+
+class TestRedirects:
+    def test_table7(self):
+        rows = (
+            [censored_row(cs_host="upload.youtube.com",
+                          x_exception_id="policy_redirect")] * 3
+            + [censored_row(cs_host="www.facebook.com",
+                            x_exception_id="policy_redirect")]
+            + [censored_row(cs_host="other.com")]
+        )
+        result = redirect_hosts(make_frame(rows))
+        assert result.total_redirects == 4
+        assert result.rows[0][0] == "upload.youtube.com"
+        assert result.rows[0][2] == pytest.approx(75.0)
+
+    def test_scenario_dominated_by_upload_youtube(self, scenario):
+        result = redirect_hosts(scenario.full)
+        assert result.total_redirects > 0
+        assert result.rows[0][0] == "upload.youtube.com"
+        assert result.rows[0][2] > 50.0
+
+    def test_followup_detection(self):
+        epoch = day_epoch(PROTEST_DAY)
+        rows = [
+            censored_row(c_ip="u1", epoch=epoch,
+                         x_exception_id="policy_redirect"),
+            allowed_row(c_ip="u1", epoch=epoch + 1),
+        ]
+        assert followup_requests_after_redirect(make_frame(rows)) == 1
+
+    def test_no_followup_outside_window(self):
+        epoch = day_epoch(PROTEST_DAY)
+        rows = [
+            censored_row(c_ip="u1", epoch=epoch,
+                         x_exception_id="policy_redirect"),
+            allowed_row(c_ip="u1", epoch=epoch + 10),
+            allowed_row(c_ip="u2", epoch=epoch + 1),
+        ]
+        assert followup_requests_after_redirect(make_frame(rows)) == 0
+
+    def test_no_redirects_no_followups(self):
+        assert followup_requests_after_redirect(
+            make_frame([allowed_row()])
+        ) == 0

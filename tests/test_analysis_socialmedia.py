@@ -1,0 +1,147 @@
+"""Tests for analysis.socialmedia (Section 6, Tables 13-15)."""
+
+import pytest
+
+from repro.analysis.socialmedia import (
+    facebook_pages,
+    facebook_plugins,
+    osn_breakdown,
+)
+from repro.catalog.socialnetworks import OSN_WATCHLIST
+from tests.helpers import allowed_row, censored_row, make_frame, proxied_row
+
+
+class TestTable13:
+    def test_breakdown(self):
+        frame = make_frame(
+            [allowed_row(cs_host="www.facebook.com")] * 5
+            + [censored_row(cs_host="www.facebook.com")] * 2
+            + [censored_row(cs_host="badoo.com")]
+            + [proxied_row(cs_host="twitter.com")]
+        )
+        rows = osn_breakdown(frame, top=None)
+        by_network = {row.network: row for row in rows}
+        assert by_network["facebook.com"].allowed == 5
+        assert by_network["facebook.com"].censored == 2
+        assert by_network["badoo.com"].censored == 1
+        assert by_network["twitter.com"].proxied == 1
+        assert by_network["myspace.com"].censored == 0
+
+    def test_watchlist_has_28_networks(self):
+        assert len(OSN_WATCHLIST) == 28
+
+    def test_plus_google_matched_by_host(self):
+        frame = make_frame([
+            allowed_row(cs_host="plus.google.com"),
+            allowed_row(cs_host="www.google.com"),
+        ])
+        rows = osn_breakdown(frame, top=None)
+        by_network = {row.network: row for row in rows}
+        assert by_network["plus.google.com"].allowed == 1
+
+    def test_scenario_shape(self, scenario):
+        """Section 6: facebook dominates censored OSN traffic; badoo
+        and netlog are fully censored; twitter is essentially open."""
+        rows = osn_breakdown(scenario.full, top=None)
+        by_network = {row.network: row for row in rows}
+        assert rows[0].network == "facebook.com"
+        assert by_network["facebook.com"].allowed > by_network[
+            "facebook.com"
+        ].censored
+        assert by_network["badoo.com"].allowed == 0
+        assert by_network["netlog.com"].allowed == 0
+        twitter = by_network["twitter.com"]
+        assert twitter.allowed > twitter.censored * 20
+
+
+class TestTable14:
+    def test_page_outcomes(self):
+        frame = make_frame([
+            censored_row(cs_host="www.facebook.com",
+                         cs_uri_path="/Syrian.Revolution",
+                         cs_uri_query="ref=ts",
+                         x_exception_id="policy_redirect",
+                         cs_categories="Blocked sites; unavailable"),
+            allowed_row(cs_host="www.facebook.com",
+                        cs_uri_path="/Syrian.Revolution",
+                        cs_uri_query="ref=ts&ajaxpipe=1"),
+            allowed_row(cs_host="www.facebook.com", cs_uri_path="/home.php"),
+        ])
+        rows = facebook_pages(frame)
+        assert len(rows) == 1
+        page = rows[0]
+        assert page.page == "Syrian.Revolution"
+        assert page.censored == 1
+        assert page.allowed == 1
+        assert page.custom_category_hits == 1
+
+    def test_case_sensitivity(self):
+        frame = make_frame([
+            censored_row(cs_host="www.facebook.com",
+                         cs_uri_path="/Syrian.Revolution",
+                         x_exception_id="policy_redirect"),
+            allowed_row(cs_host="www.facebook.com",
+                        cs_uri_path="/Syrian.revolution"),
+        ])
+        rows = facebook_pages(frame)
+        pages = {row.page for row in rows}
+        assert pages == {"Syrian.Revolution", "Syrian.revolution"}
+
+    def test_app_endpoints_excluded(self):
+        frame = make_frame([
+            allowed_row(cs_host="www.facebook.com", cs_uri_path="/home.php"),
+            allowed_row(cs_host="www.facebook.com",
+                        cs_uri_path="/plugins/like.php"),
+            allowed_row(cs_host="www.facebook.com", cs_uri_path="-"),
+        ])
+        assert facebook_pages(frame) == []
+
+    def test_scenario_syrian_revolution_top(self, scenario):
+        rows = facebook_pages(scenario.full)
+        assert rows, "no page visits found"
+        assert rows[0].page == "Syrian.Revolution"
+        assert rows[0].censored > 0
+        # the custom category fires only on censored (redirected) rows
+        assert rows[0].custom_category_hits <= rows[0].censored + rows[0].proxied
+
+    def test_scenario_allowed_pages_never_categorized(self, scenario):
+        rows = facebook_pages(scenario.full)
+        by_page = {row.page: row for row in rows}
+        for page in ("ShaamNewsNetwork", "Syrian.Revolution.Army"):
+            if page in by_page:
+                assert by_page[page].censored == 0
+                assert by_page[page].custom_category_hits == 0
+
+
+class TestTable15:
+    def test_plugin_rows(self):
+        frame = make_frame(
+            [censored_row(cs_host="www.facebook.com",
+                          cs_uri_path="/plugins/like.php")] * 3
+            + [censored_row(cs_host="www.facebook.com",
+                            cs_uri_path="/extern/login_status.php")] * 2
+            + [censored_row(cs_host="www.facebook.com",
+                            cs_uri_path="/home.php")]
+        )
+        rows = facebook_plugins(frame)
+        assert rows[0].element == "/plugins/like.php"
+        assert rows[0].censored == 3
+        # share is of censored facebook traffic (6 rows)
+        assert rows[0].censored_share_pct == pytest.approx(50.0)
+        elements = {row.element for row in rows}
+        assert "/home.php" not in elements
+
+    def test_scenario_like_and_login_dominate(self, scenario):
+        """Table 15: like.php and login_status.php are the top two and
+        jointly carry most of the censored facebook traffic."""
+        rows = facebook_plugins(scenario.full)
+        top_two = {rows[0].element, rows[1].element}
+        assert top_two == {"/plugins/like.php", "/extern/login_status.php"}
+        assert rows[0].censored_share_pct + rows[1].censored_share_pct > 55.0
+
+    def test_scenario_plugins_never_allowed(self, scenario):
+        for row in facebook_plugins(scenario.full):
+            if "proxy" in row.element or row.element.startswith(
+                ("/plugins/", "/extern/")
+            ):
+                assert row.allowed == 0

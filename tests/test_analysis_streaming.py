@@ -1,0 +1,102 @@
+"""Tests for the streaming (single-pass) analysis."""
+
+import io
+
+import pytest
+
+from repro.analysis.overview import top_domains, traffic_breakdown
+from repro.analysis.streaming import StreamingAnalysis
+from repro.logmodel.elff import read_log, write_log
+from tests.helpers import (
+    allowed_row,
+    censored_row,
+    error_row,
+    make_record,
+    proxied_row,
+)
+
+
+def records():
+    rows = (
+        [dict(cs_host="www.google.com")] * 5
+        + [dict(cs_host="www.metacafe.com", sc_filter_result="DENIED",
+                x_exception_id="policy_denied")] * 2
+        + [dict(cs_host="www.a.com", sc_filter_result="DENIED",
+                x_exception_id="tcp_error")]
+        + [dict(cs_host="www.google.com", sc_filter_result="PROXIED")]
+    )
+    return [make_record(**row) for row in rows]
+
+
+class TestStreamingAnalysis:
+    def test_breakdown(self):
+        acc = StreamingAnalysis().consume(records())
+        breakdown = acc.breakdown()
+        assert breakdown.total == 9
+        assert breakdown.allowed == 6  # incl. the exception-free PROXIED row
+        assert breakdown.censored == 2
+        assert breakdown.errors == 1
+        assert breakdown.proxied == 1
+        assert breakdown.censored_pct == pytest.approx(200 / 9)
+
+    def test_top_domains(self):
+        acc = StreamingAnalysis().consume(records())
+        assert acc.top_allowed(1) == [("google.com", 6)]
+        assert acc.top_censored(1) == [("metacafe.com", 2)]
+
+    def test_exception_mix(self):
+        acc = StreamingAnalysis().consume(records())
+        assert acc.exceptions["policy_denied"] == 2
+        assert acc.exceptions["tcp_error"] == 1
+
+    def test_merge_equals_sequential(self):
+        recs = records()
+        combined = StreamingAnalysis().consume(recs)
+        left = StreamingAnalysis().consume(recs[:4])
+        right = StreamingAnalysis().consume(recs[4:])
+        merged = left.merge(right)
+        assert merged.breakdown() == combined.breakdown()
+        assert merged.allowed_domains == combined.allowed_domains
+
+    def test_streaming_over_elff_file(self):
+        buffer = io.StringIO()
+        write_log(records(), buffer)
+        buffer.seek(0)
+        acc = StreamingAnalysis().consume(read_log(buffer))
+        assert acc.total == 9
+
+    def test_matches_frame_analysis_on_scenario(self, scenario):
+        """The one-pass counters agree exactly with the columnar
+        pipeline."""
+        from repro.logmodel.record import LogRecord
+
+        frame = scenario.full
+        acc = StreamingAnalysis()
+        for i in range(0, len(frame), 7):  # a sparse but exact sample
+            row = frame.row(i)
+            acc.add(make_record(
+                epoch=int(row["epoch"]),
+                cs_host=str(row["cs_host"]),
+                sc_filter_result=str(row["sc_filter_result"]),
+                x_exception_id=str(row["x_exception_id"]),
+            ))
+        # compare against the frame restricted to the same rows
+        import numpy as np
+
+        indices = np.arange(0, len(frame), 7)
+        sub = frame.take(indices)
+        breakdown = traffic_breakdown(sub)
+        assert acc.breakdown().total == breakdown.total
+        assert acc.breakdown().censored == breakdown.censored
+        assert acc.breakdown().allowed == breakdown.allowed
+        # per-domain censored counters agree exactly (top-N ordering
+        # may differ on ties, so compare the counts themselves)
+        frame_top = {
+            r.domain: r.requests for r in top_domains(sub, n=5).censored
+        }
+        for domain, count in frame_top.items():
+            assert acc.censored_domains[domain] == count
+
+    def test_day_volumes(self):
+        acc = StreamingAnalysis().consume(records())
+        assert sum(acc.day_volumes.values()) == 9

@@ -1,0 +1,151 @@
+"""Tests for analysis.toranalysis (Section 7.1, Figs 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.toranalysis import (
+    identify_tor_traffic,
+    proxy_censored_comparison,
+    refilter_ratio,
+    tor_hourly_series,
+    tor_overview,
+)
+from repro.timeline import day_epoch
+from repro.tornet import TorDirectory
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+@pytest.fixture(scope="module")
+def directory():
+    return TorDirectory(40, seed=20)
+
+
+def tor_rows(directory, n_onion=3, n_http=2, censor_onion=0):
+    relay = directory.relays[0]
+    dir_relay = next(r for r in directory.relays if r.dir_port != 0)
+    rows = []
+    for i in range(n_onion):
+        row = dict(
+            cs_host=relay.ip,
+            cs_uri_port=relay.or_port,
+            cs_method="CONNECT",
+            epoch=day_epoch("2011-08-03") + i * 3600,
+        )
+        if i < censor_onion:
+            rows.append(censored_row(**row))
+        else:
+            rows.append(allowed_row(**row))
+    for i in range(n_http):
+        rows.append(allowed_row(
+            cs_host=dir_relay.ip,
+            cs_uri_port=dir_relay.dir_port,
+            cs_uri_path="/tor/server/authority.z",
+            epoch=day_epoch("2011-08-03") + i * 3600,
+        ))
+    return rows
+
+
+class TestIdentification:
+    def test_matches_relay_endpoints(self, directory):
+        rows = tor_rows(directory) + [allowed_row(cs_host="www.other.com")]
+        tor = identify_tor_traffic(make_frame(rows), directory)
+        assert tor.total == 5
+        assert int(tor.onion_mask.sum()) == 3
+        assert int(tor.http_mask.sum()) == 2
+
+    def test_relay_ip_on_wrong_port_not_matched(self, directory):
+        relay = directory.relays[0]
+        rows = [allowed_row(cs_host=relay.ip, cs_uri_port=1234)]
+        tor = identify_tor_traffic(make_frame(rows), directory)
+        assert tor.total == 0
+
+    def test_scenario_identifies_tor(self, scenario):
+        tor = identify_tor_traffic(
+            scenario.full, scenario.generator.tor_directory
+        )
+        assert tor.total > 100
+        # the paper: 73 % directory traffic
+        assert 55.0 < tor.http_share_pct < 90.0
+
+
+class TestOverview:
+    def test_counts(self, directory):
+        tor = identify_tor_traffic(
+            make_frame(tor_rows(directory, censor_onion=1)), directory
+        )
+        overview = tor_overview(tor)
+        assert overview.total_requests == 5
+        assert overview.censored == 1
+        assert overview.onion_censored == 1
+        assert overview.http_censored == 0
+        assert overview.censored_by_proxy == {"SG-42": 1}
+
+    def test_scenario_sg44_censors_tor(self, scenario):
+        """Section 7.1: a single proxy (SG-44) censors Tor; only onion
+        traffic is ever censored."""
+        tor = identify_tor_traffic(
+            scenario.full, scenario.generator.tor_directory
+        )
+        overview = tor_overview(tor)
+        assert overview.censored > 0
+        assert set(overview.censored_by_proxy) == {"SG-44"}
+        assert overview.http_censored == 0
+        assert overview.onion_censored == overview.censored
+
+
+class TestSeries:
+    def test_hourly_series(self, directory):
+        tor = identify_tor_traffic(make_frame(tor_rows(directory)), directory)
+        start = day_epoch("2011-08-03")
+        series = tor_hourly_series(tor, start, start + 4 * 3600)
+        assert series.counts.sum() == 5
+        assert series.counts[0] == 2  # one onion + one http at hour 0
+
+    def test_proxy_comparison_normalized(self, directory):
+        frame = make_frame(tor_rows(directory, censor_onion=2))
+        tor = identify_tor_traffic(frame, directory)
+        start = day_epoch("2011-08-03")
+        series = proxy_censored_comparison(frame, tor, "SG-42", start,
+                                           start + 4 * 3600)
+        assert series.all_censored_pct.sum() == pytest.approx(100.0)
+        assert series.tor_censored_pct.sum() == pytest.approx(100.0)
+
+
+class TestRefilter:
+    def test_rfilter_extremes(self, directory):
+        relay_a = directory.relays[0]
+        relay_b = directory.relays[1]
+        base = day_epoch("2011-08-03")
+        rows = [
+            # hour 0: relay A censored
+            censored_row(cs_host=relay_a.ip, cs_uri_port=relay_a.or_port,
+                         cs_method="CONNECT", epoch=base + 100),
+            # hour 1: relay A allowed again -> overlap, R_filter = 0
+            allowed_row(cs_host=relay_a.ip, cs_uri_port=relay_a.or_port,
+                        cs_method="CONNECT", epoch=base + 3700),
+            # hour 2: only relay B allowed -> no overlap, R_filter = 1
+            allowed_row(cs_host=relay_b.ip, cs_uri_port=relay_b.or_port,
+                        cs_method="CONNECT", epoch=base + 7300),
+        ]
+        tor = identify_tor_traffic(make_frame(rows), directory)
+        series = refilter_ratio(tor)
+        assert series.rfilter[0] == pytest.approx(1.0)  # nothing re-allowed yet
+        assert series.rfilter[1] == pytest.approx(0.0)
+        assert series.rfilter[2] == pytest.approx(1.0)
+
+    def test_empty_tor_traffic(self, directory):
+        tor = identify_tor_traffic(
+            make_frame([allowed_row(cs_host="a.com")]), directory
+        )
+        series = refilter_ratio(tor)
+        assert len(series.bin_epochs) == 0
+
+    def test_scenario_inconsistency(self, scenario):
+        """Fig. 9: R_filter varies — blocking is inconsistent."""
+        tor = identify_tor_traffic(
+            scenario.full, scenario.generator.tor_directory
+        )
+        series = refilter_ratio(tor, bin_seconds=6 * 3600)
+        values = series.rfilter[~np.isnan(series.rfilter)]
+        assert len(values) > 12
+        assert values.std() > 0.02

@@ -1,0 +1,96 @@
+"""Tests for the release-privacy audit plus golden regression checks
+pinning the calibration for a fixed seed."""
+
+import pytest
+
+from repro.analysis.overview import top_domains, traffic_breakdown
+from repro.logmodel.audit import audit_frame, audit_release
+from repro.logmodel.elff import write_log
+from tests.helpers import make_record
+
+
+class TestAudit:
+    def test_safe_release(self, tmp_path, scenario):
+        """The builder's output is always anonymized."""
+        findings = audit_frame(scenario.full)
+        assert findings.safe
+        assert findings.records == len(scenario.full)
+        assert findings.hashed > 0  # the July pseudonyms
+        assert findings.zeroed > 0
+
+    def test_detects_raw_addresses(self, tmp_path):
+        path = tmp_path / "leaky.log"
+        write_log([
+            make_record(c_ip="0.0.0.0"),
+            make_record(c_ip="31.9.12.34"),  # a raw client address!
+            make_record(c_ip="abcdef0123456789"),  # a pseudonym
+        ], path)
+        findings = audit_release(path)
+        assert not findings.safe
+        assert findings.raw_client_addresses == 1
+        assert "31.9.12.34" in findings.leaked_addresses
+        assert findings.hashed == 1
+        assert "UNSAFE" in findings.summary()
+
+    def test_summary_for_safe_file(self, tmp_path):
+        path = tmp_path / "clean.log"
+        write_log([make_record(c_ip="0.0.0.0")], path)
+        findings = audit_release(path)
+        assert "SAFE" in findings.summary()
+
+    def test_multiple_files(self, tmp_path):
+        a = tmp_path / "a.log"
+        b = tmp_path / "b.log"
+        write_log([make_record(c_ip="0.0.0.0")], a)
+        write_log([make_record(c_ip="0.0.0.0")], b)
+        assert audit_release(a, b).records == 2
+
+
+class TestGoldenCalibration:
+    """Regression guards: the shared scenario's headline statistics
+    must stay inside the calibrated envelope.  A change that moves
+    these numbers is a (possibly intentional) recalibration and must
+    update this test consciously."""
+
+    def test_headline_envelope(self, scenario):
+        breakdown = traffic_breakdown(scenario.full)
+        assert 92.0 < breakdown.allowed_pct < 95.0
+        assert 0.9 < breakdown.censored_pct < 2.0
+        assert 0.3 < breakdown.proxied_pct < 0.7
+        assert 4.0 < breakdown.denied_pct < 8.0
+
+    def test_top_censored_envelope(self, scenario):
+        censored = {r.domain: r.share_pct
+                    for r in top_domains(scenario.full).censored}
+        assert censored.get("facebook.com", 0) > 10.0
+        assert censored.get("metacafe.com", 0) > 8.0
+        assert 3.0 < censored.get("skype.com", 0) < 12.0
+
+    def test_error_mix_envelope(self, scenario):
+        breakdown = traffic_breakdown(scenario.full)
+        shares = {r.exception_id: r.share_pct for r in breakdown.exception_rows}
+        assert 2.0 < shares.get("tcp_error", 0) < 3.6
+        assert 1.4 < shares.get("internal_error", 0) < 3.0
+        assert shares.get("tcp_error", 0) > shares.get("invalid_request", 1e9) or \
+            shares.get("tcp_error", 0) > 2.0
+
+    def test_dataset_ratio_envelope(self, scenario):
+        summary = scenario.summary()
+        assert summary["denied"] / summary["full"] < 0.10
+        assert 0.035 < summary["sample"] / summary["full"] < 0.045
+
+
+class TestGroupByAggregates:
+    def test_mean_min_max(self):
+        import numpy as np
+
+        from repro.frame import LogFrame
+
+        frame = LogFrame({
+            "k": np.array(["a", "a", "b"], dtype=object),
+            "v": np.array([1, 3, 5], dtype=np.int64),
+        })
+        grouped = frame.groupby("k")
+        assert grouped.mean("v") == {"a": 2.0, "b": 5.0}
+        assert grouped.min("v") == {"a": 1.0, "b": 5.0}
+        assert grouped.max("v") == {"a": 3.0, "b": 5.0}

@@ -1,0 +1,161 @@
+"""Calibration tests: the simulated traffic's *shape* against the
+paper's published numbers.
+
+These are looser than the golden-envelope tests (which guard against
+accidental drift) — they assert the correspondence to the paper that
+EXPERIMENTS.md documents, at the shared test scenario's scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.common import (
+    censored_mask,
+    domain_column,
+    https_mask,
+    observed_allowed_mask,
+)
+from repro.analysis.overview import top_domains, traffic_breakdown
+from repro.analysis.stringfilter import keyword_stats
+from repro.policy.syria import KEYWORDS
+from repro.timeline import day_span
+
+
+@pytest.fixture(scope="module")
+def shares(scenario):
+    """Per-domain share of allowed traffic (%)."""
+    result = top_domains(scenario.full, n=30)
+    return {row.domain: row.share_pct for row in result.allowed}
+
+
+class TestAllowedShares:
+    """Table 4 allowed column: paper share vs measured, ±40 % rel."""
+
+    @pytest.mark.parametrize("domain,paper_share", [
+        ("google.com", 7.19),
+        ("xvideos.com", 3.34),
+        ("gstatic.com", 3.30),
+        ("facebook.com", 2.54),
+        ("microsoft.com", 2.38),
+        ("fbcdn.net", 2.35),
+        ("windowsupdate.com", 2.20),
+        ("google-analytics.com", 1.77),
+    ])
+    def test_named_share(self, shares, domain, paper_share):
+        measured = shares.get(domain, 0.0)
+        assert measured == pytest.approx(paper_share, rel=0.4), domain
+
+    def test_google_is_top(self, shares):
+        assert max(shares, key=shares.get) == "google.com"
+
+
+class TestCensoredShares:
+    """Table 4 censored column: paper share vs measured, generous."""
+
+    @pytest.fixture(scope="class")
+    def censored_shares(self, scenario):
+        result = top_domains(scenario.full, n=30)
+        return {row.domain: row.share_pct for row in result.censored}
+
+    @pytest.mark.parametrize("domain,paper_share,rel", [
+        ("facebook.com", 21.91, 0.5),
+        ("metacafe.com", 17.33, 0.5),
+        ("skype.com", 6.83, 0.8),
+        ("live.com", 5.98, 0.8),
+        ("wikimedia.org", 4.16, 0.9),
+    ])
+    def test_named_share(self, censored_shares, domain, paper_share, rel):
+        measured = censored_shares.get(domain, 0.0)
+        assert measured == pytest.approx(paper_share, rel=rel), domain
+
+    def test_facebook_and_metacafe_lead(self, censored_shares):
+        ranked = sorted(censored_shares, key=censored_shares.get,
+                        reverse=True)
+        assert set(ranked[:2]) == {"facebook.com", "metacafe.com"}
+
+
+class TestKeywordShares:
+    def test_proxy_dominates_like_the_paper(self, scenario):
+        rows = keyword_stats(scenario.full, KEYWORDS)
+        proxy = next(r for r in rows if r.keyword == "proxy")
+        # paper: 53.6 % of censored traffic
+        assert 35.0 < proxy.censored_share_pct < 65.0
+        others = sum(
+            r.censored_share_pct for r in rows if r.keyword != "proxy"
+        )
+        assert others < 10.0  # the four minor keywords are small
+
+
+class TestTrafficClassShares:
+    def test_error_hierarchy(self, scenario):
+        """Table 3: tcp_error > internal_error > invalid_request >
+        unsupported_protocol > dns errors."""
+        rows = {
+            r.exception_id: r.share_pct
+            for r in traffic_breakdown(scenario.full).exception_rows
+        }
+        assert rows["tcp_error"] > rows["internal_error"] * 0.8
+        assert rows["internal_error"] > rows["invalid_request"]
+        assert rows["invalid_request"] > rows["unsupported_protocol"]
+        assert rows["unsupported_protocol"] > rows.get(
+            "dns_unresolved_hostname", 0.0
+        )
+
+    def test_user_slice_error_mix_differs(self, scenario):
+        """Table 3's D_user column: internal_error overtakes
+        tcp_error on the July slice."""
+        rows = {
+            r.exception_id: r.share_pct
+            for r in traffic_breakdown(scenario.user).exception_rows
+        }
+        assert rows["internal_error"] > rows["tcp_error"]
+
+    def test_https_share_small(self, scenario):
+        https = https_mask(scenario.full)
+        share = 100.0 * https.mean()
+        # paper: 0.08 %; ours is higher by construction but stays <2 %
+        assert 0.1 < share < 2.0
+
+
+class TestStructuralInvariants:
+    def test_suspected_domains_have_zero_allowed(self, scenario):
+        """Ground truth: every policy-blocked domain has no allowed
+        OBSERVED request anywhere in the logs."""
+        domains = domain_column(scenario.full)
+        allowed = observed_allowed_mask(scenario.full)
+        for blocked in scenario.policy.blocked_domains:
+            assert int(((domains == blocked) & allowed).sum()) == 0, blocked
+
+    def test_keywords_never_in_allowed_urls(self, scenario):
+        frame = scenario.full
+        allowed = observed_allowed_mask(frame)
+        hosts = frame.col("cs_host")[allowed]
+        paths = frame.col("cs_uri_path")[allowed]
+        queries = frame.col("cs_uri_query")[allowed]
+        for keyword in KEYWORDS:
+            for h, p, q in zip(hosts, paths, queries):
+                text = f"{h}{p}?{q}".lower()
+                assert keyword not in text, (keyword, text)
+
+    def test_july_days_tiny_vs_august(self, scenario):
+        """Even boosted, the July days stay well below August (the
+        leak's single-proxy period)."""
+        epochs = scenario.full.col("epoch")
+        july = int(((epochs >= day_span("2011-07-22")[0])
+                    & (epochs < day_span("2011-07-31")[1])).sum())
+        assert july < len(scenario.full) * 0.45
+
+    def test_censorship_every_august_day(self, scenario):
+        censored = censored_mask(scenario.full)
+        epochs = scenario.full.col("epoch")
+        for day in ("2011-08-01", "2011-08-02", "2011-08-03",
+                    "2011-08-04", "2011-08-05", "2011-08-06"):
+            start, end = day_span(day)
+            in_day = (epochs >= start) & (epochs < end)
+            assert int((censored & in_day).sum()) > 0, day
+
+    def test_redirects_are_rare(self, scenario):
+        exceptions = scenario.full.col("x_exception_id")
+        redirects = int((exceptions == "policy_redirect").sum())
+        denials = int((exceptions == "policy_denied").sum())
+        assert redirects < denials * 0.2

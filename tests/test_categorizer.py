@@ -1,0 +1,69 @@
+"""Tests for the URL categorizer."""
+
+from repro.catalog.categories import Category as C
+from repro.catalog.domains import build_domain_universe
+from repro.categorizer import TrustedSourceCategorizer
+
+
+def universe_categorizer() -> TrustedSourceCategorizer:
+    return TrustedSourceCategorizer(build_domain_universe(tail_count=20))
+
+
+class TestCategorize:
+    def test_exact_host(self):
+        categorizer = universe_categorizer()
+        assert categorizer.categorize("www.metacafe.com") == C.STREAMING_MEDIA
+        assert categorizer.categorize("www.skype.com") == C.INSTANT_MESSAGING
+
+    def test_domain_fallback_for_unknown_subdomain(self):
+        categorizer = universe_categorizer()
+        assert categorizer.categorize("cdn7.metacafe.com") == C.STREAMING_MEDIA
+
+    def test_facebook_page_is_social_networking(self):
+        categorizer = universe_categorizer()
+        assert (
+            categorizer.categorize("www.facebook.com", "/Syrian.Revolution")
+            == C.SOCIAL_NETWORKING
+        )
+
+    def test_facebook_plugins_are_content_server(self):
+        """The path override behind Fig. 3's 'Content Server' ranking."""
+        categorizer = universe_categorizer()
+        for path in ("/plugins/like.php", "/extern/login_status.php",
+                     "/fbml/fbjs_ajax_proxy.php", "/ajax/proxy.php"):
+            assert categorizer.categorize("www.facebook.com", path) == C.CONTENT_SERVER
+
+    def test_unknown_host_heuristics(self):
+        categorizer = TrustedSourceCategorizer()
+        assert categorizer.categorize("cdn.unknownsite.xyz") == C.CONTENT_SERVER
+        assert categorizer.categorize("tracker.something.xyz") == C.P2P
+        assert categorizer.categorize("myproxy.unknown.xyz") == C.ANONYMIZER
+
+    def test_unknown_host_is_na(self):
+        assert TrustedSourceCategorizer().categorize("qq.zz") == C.NA
+
+    def test_ip_entries(self):
+        categorizer = TrustedSourceCategorizer()
+        assert categorizer.categorize("1.2.3.4") == C.NA
+        categorizer.add_host("1.2.3.4", C.ANONYMIZER)
+        assert categorizer.categorize("1.2.3.4") == C.ANONYMIZER
+
+    def test_add_host(self):
+        categorizer = TrustedSourceCategorizer()
+        categorizer.add_host("new.example.org", C.GAMES)
+        assert categorizer.categorize("new.example.org") == C.GAMES
+        assert categorizer.categorize_domain("example.org") == C.GAMES
+
+    def test_categorize_domain(self):
+        categorizer = universe_categorizer()
+        assert categorizer.categorize_domain("metacafe.com") == C.STREAMING_MEDIA
+        assert categorizer.categorize_domain("amazon.com") == C.ONLINE_SHOPPING
+
+    def test_is_anonymizer(self):
+        categorizer = universe_categorizer()
+        assert categorizer.is_anonymizer("hotspotshield.com")
+        assert not categorizer.is_anonymizer("www.facebook.com")
+
+    def test_anonymizer_population_categorized(self):
+        categorizer = universe_categorizer()
+        assert categorizer.categorize("www.fastproxy0.com") == C.ANONYMIZER

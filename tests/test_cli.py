@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def log_dir(tmp_path_factory):
+    """A small simulated deployment written as ELFF logs."""
+    out = tmp_path_factory.mktemp("cli-logs")
+    code = main([
+        "simulate", "--requests", "6000", "--seed", "9",
+        "--out", str(out), "--per-proxy", "--boosts",
+    ])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_one_file_per_proxy(self, log_dir):
+        files = sorted(p.name for p in log_dir.glob("*.log"))
+        assert files == [f"sg-{n}.log" for n in range(42, 49)]
+
+    def test_files_have_elff_directives(self, log_dir):
+        text = (log_dir / "sg-42.log").read_text()
+        assert text.startswith("#Software:")
+        assert "#Fields:" in text
+
+    def test_combined_output(self, tmp_path):
+        code = main([
+            "simulate", "--requests", "1500", "--seed", "2",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "proxies.log").exists()
+
+    def test_per_day_split(self, tmp_path):
+        code = main([
+            "simulate", "--requests", "2000", "--seed", "3",
+            "--out", str(tmp_path), "--per-day",
+        ])
+        assert code == 0
+        files = sorted(p.name for p in tmp_path.glob("*.log"))
+        assert "2011-08-03.log" in files
+        assert len(files) == 9  # one per log day
+
+    def test_per_proxy_per_day_split(self, tmp_path):
+        code = main([
+            "simulate", "--requests", "2000", "--seed", "3",
+            "--out", str(tmp_path), "--per-proxy", "--per-day",
+        ])
+        assert code == 0
+        files = {p.name for p in tmp_path.glob("*.log")}
+        assert "sg-42_2011-07-22.log" in files
+        # July days exist only for SG-42, like the leak
+        assert not any(
+            name.startswith("sg-43_2011-07") for name in files
+        )
+
+
+class TestAnalyze:
+    def test_prints_breakdown(self, log_dir, capsys):
+        code = main([
+            "analyze", *[str(p) for p in sorted(log_dir.glob("*.log"))],
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Traffic breakdown" in output
+        assert "censored" in output
+        assert "facebook.com" in output or "google.com" in output
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(tmp_path / "nope.log")])
+
+    def test_streaming_mode(self, log_dir, capsys):
+        code = main([
+            "analyze", "--streaming",
+            *[str(p) for p in sorted(log_dir.glob("*.log"))],
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming" in output
+        assert "Top censored domains" in output
+
+
+class TestRecover:
+    def test_recovers_policy(self, log_dir, capsys):
+        code = main([
+            "recover", *[str(p) for p in sorted(log_dir.glob("*.log"))],
+            "--min-censored", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "URL-blocked domains" in output
+        assert "proxy" in output  # the keyword is always recoverable
+
+
+class TestReport:
+    def test_report_with_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "--requests", "8000", "--seed", "4",
+            "--markdown", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Censorship report")
+        assert "metacafe.com" in text
+        assert "recovered keywords" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,123 @@
+"""Failure-injection: every analysis must handle degenerate datasets —
+empty frames, all-allowed traffic, all-censored traffic — without
+raising."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    anonymizers,
+    categories,
+    economics,
+    googlecache,
+    https_mitm,
+    ipfilter,
+    overview,
+    p2p,
+    pageviews,
+    proxies,
+    redirects,
+    socialmedia,
+    stringfilter,
+    temporal,
+    users,
+    weather,
+)
+from repro.bittorrent import TitleDatabase, TorrentCatalog
+from repro.categorizer import TrustedSourceCategorizer
+from repro.frame.io import empty_frame
+from repro.geoip import builtin_registry
+from repro.timeline import PROTEST_DAY, day_epoch
+from repro.tornet import TorDirectory
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+@pytest.fixture(params=["empty", "all_allowed", "all_censored"])
+def degenerate(request):
+    if request.param == "empty":
+        return empty_frame()
+    if request.param == "all_allowed":
+        return make_frame([allowed_row()] * 10)
+    return make_frame([censored_row(cs_uri_query=f"u=proxy&i={i}")
+                       for i in range(10)])
+
+
+class TestAnalysesSurviveDegenerateInput:
+    def test_overview(self, degenerate):
+        breakdown = overview.traffic_breakdown(degenerate)
+        assert breakdown.total == len(degenerate)
+        overview.top_domains(degenerate)
+        overview.port_distribution(degenerate)
+        overview.domain_request_distribution(degenerate)
+        overview.https_breakdown(degenerate)
+
+    def test_temporal(self, degenerate):
+        start, end = day_epoch(PROTEST_DAY), day_epoch(PROTEST_DAY) + 86400
+        temporal.traffic_timeseries(degenerate, start, end)
+        temporal.relative_censored_volume(degenerate, PROTEST_DAY)
+        temporal.top_censored_windows(degenerate, PROTEST_DAY)
+
+    def test_proxies(self, degenerate):
+        proxies.proxy_similarity(degenerate)
+        proxies.category_labels_by_proxy(degenerate)
+
+    def test_users(self, degenerate):
+        users.user_analysis(degenerate)
+        users.software_agent_analysis(degenerate)
+
+    def test_stringfilter(self, degenerate):
+        suspected = stringfilter.recover_censored_domains(degenerate)
+        stringfilter.recover_censored_hosts(degenerate)
+        stringfilter.recover_keywords(degenerate)
+        stringfilter.keyword_stats(degenerate, ("proxy",))
+        stringfilter.categorize_suspected(
+            suspected, TrustedSourceCategorizer(), total_censored=1
+        )
+
+    def test_ipfilter(self, degenerate):
+        subset = ipfilter.ipv4_subset(degenerate)
+        ipfilter.country_censorship_ratio(subset, builtin_registry())
+        ipfilter.israeli_subnets(subset, ())
+
+    def test_socialmedia(self, degenerate):
+        socialmedia.osn_breakdown(degenerate)
+        socialmedia.facebook_pages(degenerate)
+        socialmedia.facebook_plugins(degenerate)
+
+    def test_redirects(self, degenerate):
+        redirects.redirect_hosts(degenerate)
+        redirects.followup_requests_after_redirect(degenerate)
+
+    def test_circumvention(self, degenerate):
+        anonymizers.anonymizer_analysis(degenerate, TrustedSourceCategorizer())
+        titledb = TitleDatabase(TorrentCatalog(10, seed=1))
+        p2p.bittorrent_analysis(degenerate, titledb)
+        googlecache.google_cache_analysis(degenerate, set())
+
+    def test_tor(self, degenerate):
+        from repro.analysis import toranalysis
+
+        directory = TorDirectory(20, seed=2)
+        tor = toranalysis.identify_tor_traffic(degenerate, directory)
+        toranalysis.tor_overview(tor)
+        toranalysis.refilter_ratio(tor)
+
+    def test_categories(self, degenerate):
+        categories.censored_category_distribution(
+            degenerate, TrustedSourceCategorizer()
+        )
+
+    def test_extensions(self, degenerate):
+        from repro.analysis import consistency
+
+        consistency.proxied_consistency(degenerate)
+        consistency.proxied_consistency_by_domain(degenerate)
+        https_mitm.https_mitm_check(degenerate)
+        weather.keyword_weather(degenerate, ("proxy",))
+        economics.censorship_economics(degenerate)
+        pageviews.page_view_breakdown(degenerate)
+
+    def test_drilldown(self, degenerate):
+        from repro.analysis import drilldown
+
+        drilldown.domain_profile(degenerate, "example.com")

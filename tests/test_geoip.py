@@ -1,0 +1,85 @@
+"""Tests for the GeoIP substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geoip import GeoIPDatabase, ISRAELI_SUBNETS, builtin_registry
+from repro.geoip.database import UNKNOWN_COUNTRY
+from repro.net.ip import parse_ipv4, parse_network
+
+
+def tiny_db() -> GeoIPDatabase:
+    return GeoIPDatabase([
+        (parse_network("10.0.0.0/8"), "AA"),
+        (parse_network("20.0.0.0/16"), "BB"),
+    ])
+
+
+class TestGeoIPDatabase:
+    def test_lookup_inside(self):
+        db = tiny_db()
+        assert db.lookup("10.1.2.3") == "AA"
+        assert db.lookup("20.0.255.1") == "BB"
+
+    def test_lookup_outside(self):
+        assert tiny_db().lookup("30.0.0.1") == UNKNOWN_COUNTRY
+        assert tiny_db().lookup("20.1.0.0") == UNKNOWN_COUNTRY
+
+    def test_lookup_boundaries(self):
+        db = tiny_db()
+        assert db.lookup("10.0.0.0") == "AA"
+        assert db.lookup("10.255.255.255") == "AA"
+        assert db.lookup("9.255.255.255") == UNKNOWN_COUNTRY
+        assert db.lookup("11.0.0.0") == UNKNOWN_COUNTRY
+
+    def test_lookup_accepts_int(self):
+        assert tiny_db().lookup(parse_ipv4("10.0.0.1")) == "AA"
+
+    def test_lookup_many_matches_scalar(self):
+        db = tiny_db()
+        addrs = [parse_ipv4(a) for a in
+                 ("10.0.0.1", "20.0.0.1", "30.0.0.1", "0.0.0.0")]
+        many = db.lookup_many(np.array(addrs))
+        assert many.tolist() == [db.lookup(a) for a in addrs]
+
+    def test_rejects_overlaps(self):
+        with pytest.raises(ValueError):
+            GeoIPDatabase([
+                (parse_network("10.0.0.0/8"), "AA"),
+                (parse_network("10.1.0.0/16"), "BB"),
+            ])
+
+    def test_networks_of(self):
+        assert tiny_db().networks_of("AA") == [parse_network("10.0.0.0/8")]
+
+    def test_countries(self):
+        assert tiny_db().countries == {"AA", "BB"}
+
+
+class TestBuiltinRegistry:
+    def test_builds_without_overlap(self):
+        db = builtin_registry()
+        assert len(db) > 10
+
+    def test_israeli_subnets_resolve_to_il(self):
+        db = builtin_registry()
+        for net in ISRAELI_SUBNETS:
+            assert db.lookup(net.first) == "IL"
+            assert db.lookup(net.last) == "IL"
+
+    def test_table11_countries_present(self):
+        countries = builtin_registry().countries
+        for code in ("IL", "KW", "RU", "GB", "NL", "SG", "BG"):
+            assert code in countries
+
+    def test_syrian_clients_resolve_to_sy(self):
+        assert builtin_registry().lookup("31.9.1.2") == "SY"
+
+    def test_proxy_addresses_resolve_to_sy(self):
+        assert builtin_registry().lookup("82.137.200.42") == "SY"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_lookup_many_consistent_property(self, addr):
+        db = builtin_registry()
+        assert db.lookup_many(np.array([addr]))[0] == db.lookup(addr)

@@ -1,0 +1,120 @@
+"""Tests for repro.net.ip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    MAX_IPV4,
+    IPv4Network,
+    format_ipv4,
+    ip_in_network,
+    is_ipv4,
+    parse_ipv4,
+    parse_network,
+)
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert parse_ipv4("1.2.3.4") == (1 << 24) + (2 << 16) + (3 << 8) + 4
+
+    def test_parse_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == MAX_IPV4
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.04x", "a.b.c.d", "1.2.3.-1"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_roundtrip_known(self):
+        assert format_ipv4(parse_ipv4("82.137.200.42")) == "82.137.200.42"
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+        with pytest.raises(ValueError):
+            format_ipv4(MAX_IPV4 + 1)
+
+    def test_is_ipv4(self):
+        assert is_ipv4("10.0.0.1")
+        assert not is_ipv4("example.com")
+        assert not is_ipv4("1.2.3.256")
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip_property(self, addr):
+        assert parse_ipv4(format_ipv4(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_formatted_is_recognized(self, addr):
+        assert is_ipv4(format_ipv4(addr))
+
+
+class TestNetwork:
+    def test_canonicalizes_host_bits(self):
+        net = IPv4Network(parse_ipv4("84.229.1.7"), 16)
+        assert format_ipv4(net.network) == "84.229.0.0"
+
+    def test_membership(self):
+        net = parse_network("84.229.0.0/16")
+        assert parse_ipv4("84.229.13.37") in net
+        assert parse_ipv4("84.230.0.1") not in net
+        assert ip_in_network(parse_ipv4("84.229.0.0"), net)
+
+    def test_first_last_size(self):
+        net = parse_network("212.235.64.0/19")
+        assert format_ipv4(net.first) == "212.235.64.0"
+        assert format_ipv4(net.last) == "212.235.95.255"
+        assert net.size == 1 << 13
+
+    def test_zero_prefix_covers_everything(self):
+        net = parse_network("0.0.0.0/0")
+        assert parse_ipv4("255.255.255.255") in net
+        assert net.size == 1 << 32
+
+    def test_slash32_single_host(self):
+        net = parse_network("1.2.3.4/32")
+        assert net.size == 1
+        assert parse_ipv4("1.2.3.4") in net
+        assert parse_ipv4("1.2.3.5") not in net
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ValueError):
+            IPv4Network(0, 33)
+        with pytest.raises(ValueError):
+            parse_network("1.2.3.4")  # missing prefix
+
+    def test_subnets(self):
+        net = parse_network("10.0.0.0/24")
+        halves = net.subnets(25)
+        assert [str(h) for h in halves] == ["10.0.0.0/25", "10.0.0.128/25"]
+        with pytest.raises(ValueError):
+            net.subnets(23)
+
+    def test_contains_network(self):
+        outer = parse_network("46.120.0.0/15")
+        inner = parse_network("46.121.0.0/16")
+        assert outer.contains_network(inner)
+        assert not inner.contains_network(outer)
+
+    def test_nth(self):
+        net = parse_network("10.0.0.0/30")
+        assert format_ipv4(net.nth(3)) == "10.0.0.3"
+        with pytest.raises(IndexError):
+            net.nth(4)
+
+    def test_str(self):
+        assert str(parse_network("89.138.0.0/15")) == "89.138.0.0/15"
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_IPV4),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_network_contains_its_range_property(self, addr, prefix):
+        net = IPv4Network(addr, prefix)
+        assert net.first in net
+        assert net.last in net
+        assert net.last - net.first + 1 == net.size

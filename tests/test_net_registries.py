@@ -1,0 +1,59 @@
+"""Tests for the port registry and user-agent catalog."""
+
+from repro.net.ports import TOR_DIR_PORTS, TOR_OR_PORTS, WELL_KNOWN_PORTS, service_name
+from repro.net.useragent import (
+    ALL_AGENTS,
+    BITTORRENT_AGENTS,
+    BROWSERS,
+    SOFTWARE_AGENTS,
+    classify_agent,
+)
+
+
+class TestPorts:
+    def test_web_ports(self):
+        assert service_name(80) == "http"
+        assert service_name(443) == "https"
+
+    def test_tor_ports_registered(self):
+        assert service_name(9001) == "tor-or"
+        assert service_name(9030) == "tor-dir"
+        assert 9001 in TOR_OR_PORTS
+        assert 9030 in TOR_DIR_PORTS
+
+    def test_unknown_port(self):
+        assert service_name(54321) == "other"
+
+    def test_registry_consistency(self):
+        # the labels the Fig. 1 analysis prints must be unique per port
+        assert len(WELL_KNOWN_PORTS) == len(set(WELL_KNOWN_PORTS))
+        assert all(isinstance(p, int) for p in WELL_KNOWN_PORTS)
+
+
+class TestUserAgents:
+    def test_browsers_are_interactive(self):
+        assert all(agent.interactive for agent in BROWSERS)
+
+    def test_software_agents_are_not(self):
+        assert all(not agent.interactive for agent in SOFTWARE_AGENTS)
+        assert all(not agent.interactive for agent in BITTORRENT_AGENTS)
+
+    def test_catalog_strings_unique(self):
+        strings = [agent.string for agent in ALL_AGENTS]
+        assert len(strings) == len(set(strings))
+
+    def test_classify_known_agent(self):
+        skype = classify_agent("Skype WISPr")
+        assert skype is not None
+        assert skype.family == "skype-updater"
+        assert not skype.interactive
+
+    def test_classify_unknown_agent(self):
+        assert classify_agent("TotallyUnknown/1.0") is None
+
+    def test_paper_relevant_families_present(self):
+        families = {agent.family for agent in ALL_AGENTS}
+        # the agents the paper's analyses lean on
+        for family in ("skype-updater", "google-toolbar", "msn",
+                       "windows-update", "utorrent"):
+            assert family in families

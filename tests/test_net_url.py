@@ -1,0 +1,118 @@
+"""Tests for repro.net.url."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import (
+    URL,
+    extension_of,
+    is_ip_like,
+    parse_url,
+    registered_domain,
+)
+
+
+class TestParseUrl:
+    def test_basic(self):
+        url = parse_url("http://www.example.com/path/page.php?q=1")
+        assert url.host == "www.example.com"
+        assert url.path == "/path/page.php"
+        assert url.query == "q=1"
+        assert url.scheme == "http"
+        assert url.ext == "php"
+
+    def test_no_scheme_defaults_http(self):
+        url = parse_url("example.com/")
+        assert url.scheme == "http"
+        assert url.effective_port == 80
+
+    def test_explicit_port(self):
+        url = parse_url("http://tracker.example.com:6969/announce?x=1")
+        assert url.port == 6969
+        assert url.effective_port == 6969
+
+    def test_https_default_port(self):
+        assert parse_url("https://example.com/").effective_port == 443
+
+    def test_bare_host_gets_root_path(self):
+        url = parse_url("http://example.com")
+        assert url.path == "/"
+        assert url.query == ""
+
+    def test_host_is_lowercased(self):
+        assert parse_url("http://ExAmPle.COM/").host == "example.com"
+
+    @pytest.mark.parametrize("bad", ["http:///nopath", "http://host:bad/"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_url(bad)
+
+    def test_full_roundtrip(self):
+        text = "http://example.com:8080/a/b.gif?x=1"
+        assert parse_url(text).full() == text
+
+    def test_matchable_text_is_host_path_query(self):
+        url = URL(host="h.com", path="/p", query="q=2")
+        assert url.matchable_text() == "h.com/p?q=2"
+
+
+class TestRegisteredDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("www.facebook.com", "facebook.com"),
+            ("ar-ar.facebook.com", "facebook.com"),
+            ("facebook.com", "facebook.com"),
+            ("upload.youtube.com", "youtube.com"),
+            ("www.bbc.co.uk", "bbc.co.uk"),
+            ("www.panet.co.il", "panet.co.il"),
+            ("www.mtn.com.sy", "mtn.com.sy"),
+            ("profile.ak.fbcdn.net", "fbcdn.net"),
+            ("plus.google.com", "google.com"),
+            ("localhost", "localhost"),
+        ],
+    )
+    def test_known_cases(self, host, expected):
+        assert registered_domain(host) == expected
+
+    def test_ip_hosts_map_to_themselves(self):
+        assert registered_domain("84.229.1.2") == "84.229.1.2"
+
+    def test_case_insensitive(self):
+        assert registered_domain("WWW.Example.COM") == "example.com"
+
+
+class TestExtension:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/a/b.gif", "gif"),
+            ("/watch", ""),
+            ("/", ""),
+            ("/archive.tar.gz", "gz"),
+            ("/dir.d/file", ""),
+        ],
+    )
+    def test_cases(self, path, expected):
+        assert extension_of(path) == expected
+
+
+class TestIsIpLike:
+    def test_positive(self):
+        assert is_ip_like("1.2.3.4")
+
+    def test_negative(self):
+        assert not is_ip_like("a.b.c.d")
+        assert not is_ip_like("1.2.3")
+
+
+@given(
+    st.from_regex(r"[a-z]{1,10}(\.[a-z]{2,5}){1,3}", fullmatch=True),
+    st.from_regex(r"(/[a-z0-9]{0,8}){0,4}", fullmatch=True),
+)
+def test_parse_url_roundtrip_property(host, path):
+    text = f"http://{host}{path or '/'}"
+    url = parse_url(text)
+    assert url.host == host
+    reparsed = parse_url(url.full())
+    assert reparsed == url

@@ -1,0 +1,320 @@
+"""Tests for the policy engine: rules, ordering, Syrian config, error
+and cache models."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.domains import build_domain_universe
+from repro.net.ip import parse_network
+from repro.policy import (
+    Action,
+    DomainBlacklistRule,
+    FacebookPageRule,
+    HostBlacklistRule,
+    IPBlacklistRule,
+    KeywordRule,
+    PolicyEngine,
+    RedirectHostRule,
+    RequestView,
+    TorOnionRule,
+)
+from repro.policy.cache import CacheModel
+from repro.policy.errors import DEFAULT_ERROR_RATES, ErrorModel
+from repro.policy.rules import TorBlockSchedule
+from repro.policy.syria import (
+    KEYWORDS,
+    build_syrian_policy,
+    default_tor_schedule,
+)
+from repro.timeline import day_epoch
+from repro.tornet import TorDirectory
+from tests.helpers import rng
+
+
+def view(host="example.com", path="/", query="", **kw) -> RequestView:
+    return RequestView(host=host, path=path, query=query, **kw)
+
+
+class TestKeywordRule:
+    rule = KeywordRule(["proxy", "israel"])
+
+    def test_matches_in_path(self):
+        verdict = self.rule.evaluate(view(path="/tbproxy/af/query"))
+        assert verdict is not None
+        assert verdict.action is Action.DENY
+        assert verdict.exception_id == "policy_denied"
+        assert "proxy" in verdict.rule
+
+    def test_matches_in_query(self):
+        assert self.rule.evaluate(view(query="u=xd_proxy.php")) is not None
+
+    def test_matches_in_host(self):
+        assert self.rule.evaluate(view(host="myproxy.com")) is not None
+
+    def test_case_insensitive(self):
+        assert self.rule.evaluate(view(path="/Israel-News")) is not None
+
+    def test_abstains_on_clean_request(self):
+        assert self.rule.evaluate(view(path="/news")) is None
+
+    def test_connect_request_matches_host_only(self):
+        # HTTPS CONNECT: only the host is visible.
+        assert self.rule.evaluate(
+            RequestView(host="proxy.example.com", method="CONNECT")
+        ) is not None
+
+
+class TestDomainBlacklistRule:
+    rule = DomainBlacklistRule(["metacafe.com"], suffixes=[".il"])
+
+    def test_blocks_domain_and_subdomains(self):
+        assert self.rule.evaluate(view(host="metacafe.com")) is not None
+        assert self.rule.evaluate(view(host="www.metacafe.com")) is not None
+
+    def test_blocks_tld_suffix(self):
+        assert self.rule.evaluate(view(host="www.panet.co.il")) is not None
+
+    def test_abstains_on_other_domains(self):
+        assert self.rule.evaluate(view(host="metacafe.org")) is None
+        assert self.rule.evaluate(view(host="ilsite.com")) is None
+
+    def test_ignores_ip_hosts(self):
+        assert self.rule.evaluate(view(host="1.2.3.4")) is None
+
+
+class TestHostAndRedirectRules:
+    def test_host_blacklist_exact_only(self):
+        rule = HostBlacklistRule(["messenger.live.com"])
+        assert rule.evaluate(view(host="messenger.live.com")) is not None
+        assert rule.evaluate(view(host="mail.live.com")) is None
+
+    def test_redirect_rule(self):
+        rule = RedirectHostRule(["upload.youtube.com"])
+        verdict = rule.evaluate(view(host="upload.youtube.com"))
+        assert verdict.action is Action.REDIRECT
+        assert verdict.exception_id == "policy_redirect"
+        assert rule.evaluate(view(host="www.youtube.com")) is None
+
+
+class TestFacebookPageRule:
+    rule = FacebookPageRule(
+        pages=["Syrian.Revolution"],
+        hosts=["www.facebook.com"],
+        query_forms=["", "ref=ts"],
+    )
+
+    def test_blocked_form_redirects_with_custom_category(self):
+        verdict = self.rule.evaluate(
+            view(host="www.facebook.com", path="/Syrian.Revolution", query="ref=ts")
+        )
+        assert verdict.action is Action.REDIRECT
+        assert verdict.category == "Blocked sites"
+
+    def test_extended_query_escapes(self):
+        assert self.rule.evaluate(
+            view(host="www.facebook.com", path="/Syrian.Revolution",
+                 query="ref=ts&ajaxpipe=1")
+        ) is None
+
+    def test_page_matching_is_case_sensitive(self):
+        assert self.rule.evaluate(
+            view(host="www.facebook.com", path="/syrian.revolution", query="")
+        ) is None
+
+    def test_other_hosts_unaffected(self):
+        assert self.rule.evaluate(
+            view(host="fb.example.com", path="/Syrian.Revolution", query="")
+        ) is None
+
+
+class TestIPBlacklistRule:
+    rule = IPBlacklistRule(
+        subnets=[parse_network("84.229.0.0/16")],
+        addresses=["212.150.13.20"],
+    )
+
+    def test_blocks_subnet_member(self):
+        assert self.rule.evaluate(view(host="84.229.7.7")) is not None
+
+    def test_blocks_listed_address(self):
+        assert self.rule.evaluate(view(host="212.150.13.20")) is not None
+
+    def test_allows_neighbouring_address(self):
+        assert self.rule.evaluate(view(host="212.150.13.21")) is None
+
+    def test_ignores_hostnames(self):
+        assert self.rule.evaluate(view(host="example.il.com")) is None
+
+
+class TestTorOnionRule:
+    def schedule(self, prob):
+        start = day_epoch("2011-08-03")
+        return TorBlockSchedule([(start, start + 86400, prob)])
+
+    def rule(self, prob=1.0):
+        return TorOnionRule([("1.2.3.4", 9001)], self.schedule(prob))
+
+    def test_blocks_or_connection_in_window(self):
+        verdict = self.rule().evaluate(RequestView(
+            host="1.2.3.4", port=9001, method="CONNECT",
+            epoch=day_epoch("2011-08-03") + 100,
+        ))
+        assert verdict is not None
+
+    def test_ignores_outside_window(self):
+        assert self.rule().evaluate(RequestView(
+            host="1.2.3.4", port=9001, method="CONNECT",
+            epoch=day_epoch("2011-08-04") + 100,
+        )) is None
+
+    def test_ignores_non_connect(self):
+        assert self.rule().evaluate(RequestView(
+            host="1.2.3.4", port=9001, method="GET",
+            epoch=day_epoch("2011-08-03") + 100,
+        )) is None
+
+    def test_ignores_unknown_endpoint(self):
+        assert self.rule().evaluate(RequestView(
+            host="1.2.3.4", port=9030, method="CONNECT",
+            epoch=day_epoch("2011-08-03") + 100,
+        )) is None
+
+    def test_partial_probability_is_deterministic(self):
+        rule = self.rule(0.5)
+        request = RequestView(
+            host="1.2.3.4", port=9001, method="CONNECT",
+            epoch=day_epoch("2011-08-03") + 100,
+        )
+        outcomes = {rule.evaluate(request) is None for _ in range(5)}
+        assert len(outcomes) == 1  # same request, same outcome
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            TorBlockSchedule([(10, 5, 0.5)])
+        with pytest.raises(ValueError):
+            TorBlockSchedule([(0, 10, 1.5)])
+
+
+class TestPolicyEngine:
+    def test_first_match_wins(self):
+        engine = PolicyEngine([
+            RedirectHostRule(["both.example.com"]),
+            HostBlacklistRule(["both.example.com"]),
+        ])
+        verdict = engine.evaluate(view(host="both.example.com"))
+        assert verdict.action is Action.REDIRECT
+
+    def test_allows_when_nothing_matches(self):
+        engine = PolicyEngine([KeywordRule(["proxy"])])
+        verdict = engine.evaluate(view(host="clean.example.com"))
+        assert verdict.action is Action.ALLOW
+        assert verdict.exception_id == "-"
+
+    def test_with_rules(self):
+        engine = PolicyEngine([KeywordRule(["proxy"])])
+        extended = engine.with_rules([HostBlacklistRule(["x.com"])])
+        assert extended.evaluate(view(host="x.com")).action is Action.DENY
+        assert engine.evaluate(view(host="x.com")).action is Action.ALLOW
+
+    def test_rejects_non_rules(self):
+        with pytest.raises(TypeError):
+            PolicyEngine(["not a rule"])
+
+
+class TestSyrianPolicy:
+    @pytest.fixture(scope="class")
+    def policy(self):
+        sites = build_domain_universe(tail_count=20)
+        return build_syrian_policy(
+            sites, tor_directory=TorDirectory(50, seed=1)
+        )
+
+    def test_keywords_are_the_paper_five(self, policy):
+        assert set(policy.keywords) == {
+            "proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf",
+        }
+        assert KEYWORDS == policy.keywords
+
+    def test_suspected_domains_blocked(self, policy):
+        for domain in ("metacafe.com", "skype.com", "wikimedia.org",
+                       "amazon.com", "badoo.com", "netlog.com"):
+            assert domain in policy.blocked_domains
+            verdict = policy.base_engine.evaluate(view(host=f"www.{domain}"))
+            assert verdict.action is Action.DENY
+
+    def test_il_suffix_blocked(self, policy):
+        verdict = policy.base_engine.evaluate(view(host="www.anything.co.il"))
+        assert verdict.action is Action.DENY
+
+    def test_facebook_mostly_allowed(self, policy):
+        verdict = policy.base_engine.evaluate(
+            view(host="www.facebook.com", path="/home.php")
+        )
+        assert verdict.action is Action.ALLOW
+
+    def test_facebook_plugin_censored_by_keyword(self, policy):
+        verdict = policy.base_engine.evaluate(view(
+            host="www.facebook.com",
+            path="/plugins/like.php",
+            query="channel_url=xd_proxy.php",
+        ))
+        assert verdict.action is Action.DENY
+        assert "proxy" in verdict.rule
+
+    def test_messenger_host_blocked(self, policy):
+        verdict = policy.base_engine.evaluate(view(host="messenger.live.com"))
+        assert verdict.action is Action.DENY
+        verdict = policy.base_engine.evaluate(view(host="mail.live.com"))
+        assert verdict.action is Action.ALLOW
+
+    def test_only_sg44_gets_tor_rule(self, policy):
+        assert policy.engine_for("SG-44") is not policy.base_engine
+        for name in ("SG-42", "SG-43", "SG-45", "SG-46", "SG-47", "SG-48"):
+            assert policy.engine_for(name) is policy.base_engine
+
+    def test_israeli_subnets_blocked(self, policy):
+        verdict = policy.base_engine.evaluate(view(host="84.229.1.1"))
+        assert verdict.action is Action.DENY
+        # the mostly-allowed /16 of Table 12:
+        verdict = policy.base_engine.evaluate(view(host="212.150.99.99"))
+        assert verdict.action is Action.ALLOW
+
+    def test_default_schedule_within_bounds(self):
+        schedule = default_tor_schedule()
+        for start, end, prob in schedule.windows:
+            assert start < end
+            assert 0.0 <= prob <= 1.0
+
+
+class TestErrorModel:
+    def test_rates_preserved(self):
+        model = ErrorModel()
+        assert model.rates == DEFAULT_ERROR_RATES
+
+    def test_rejects_rates_over_one(self):
+        with pytest.raises(ValueError):
+            ErrorModel({"tcp_error": 1.5})
+
+    def test_sample_distribution_roughly_matches(self):
+        model = ErrorModel({"tcp_error": 0.5})
+        draws = model.sample_many(4000, rng(1))
+        share = float(np.mean(draws == "tcp_error"))
+        assert 0.45 < share < 0.55
+
+    def test_sample_scalar(self):
+        model = ErrorModel({"tcp_error": 1.0 - 1e-9})
+        assert model.sample(rng(0)) == "tcp_error"
+
+
+class TestCacheModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(cache_rate=1.5)
+        with pytest.raises(ValueError):
+            CacheModel(clear_exception_share=-0.1)
+
+    def test_rates(self):
+        model = CacheModel(cache_rate=0.25, clear_exception_share=1.0)
+        hits = sum(model.is_cached(rng(i)) for i in range(400))
+        assert 60 < hits < 140
+        assert model.exception_cleared(rng(0))

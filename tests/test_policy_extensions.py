@@ -1,0 +1,114 @@
+"""Tests for the additional SGOS rule types (policy.extensions)."""
+
+import pytest
+
+from repro.catalog.categories import Category as C
+from repro.categorizer import TrustedSourceCategorizer
+from repro.policy import Action, PolicyEngine, RequestView
+from repro.policy.extensions import (
+    BrowserTypeRule,
+    CategoryRule,
+    ExtensionRule,
+    PortRule,
+    TimeOfDayRule,
+)
+from repro.timeline import day_epoch
+
+
+def view(**kw) -> RequestView:
+    defaults = dict(host="example.com", path="/")
+    defaults.update(kw)
+    return RequestView(**defaults)
+
+
+class TestCategoryRule:
+    def make_rule(self):
+        categorizer = TrustedSourceCategorizer()
+        categorizer.add_host("games.example.com", C.GAMES)
+        categorizer.add_host("news.example.com", C.GENERAL_NEWS)
+        return CategoryRule([C.GAMES], categorizer.categorize)
+
+    def test_blocks_category(self):
+        verdict = self.make_rule().evaluate(view(host="games.example.com"))
+        assert verdict is not None
+        assert verdict.action is Action.DENY
+        assert C.GAMES in verdict.rule
+
+    def test_allows_other_categories(self):
+        assert self.make_rule().evaluate(view(host="news.example.com")) is None
+
+    def test_composes_with_engine(self):
+        engine = PolicyEngine([self.make_rule()])
+        assert engine.evaluate(view(host="games.example.com")).action is Action.DENY
+
+
+class TestPortRule:
+    rule = PortRule([1080, 6667])
+
+    def test_blocks_listed_port(self):
+        assert self.rule.evaluate(view(port=1080)) is not None
+
+    def test_allows_other_ports(self):
+        assert self.rule.evaluate(view(port=80)) is None
+
+
+class TestTimeOfDayRule:
+    inner = PortRule([1080])
+
+    def test_applies_inside_window(self):
+        rule = TimeOfDayRule(self.inner, 8, 18)
+        epoch = day_epoch("2011-08-03") + 10 * 3600
+        assert rule.evaluate(view(port=1080, epoch=epoch)) is not None
+
+    def test_abstains_outside_window(self):
+        rule = TimeOfDayRule(self.inner, 8, 18)
+        epoch = day_epoch("2011-08-03") + 3 * 3600
+        assert rule.evaluate(view(port=1080, epoch=epoch)) is None
+
+    def test_midnight_wrapping_window(self):
+        rule = TimeOfDayRule(self.inner, 22, 6)
+        late = day_epoch("2011-08-03") + 23 * 3600
+        early = day_epoch("2011-08-03") + 2 * 3600
+        midday = day_epoch("2011-08-03") + 12 * 3600
+        assert rule.evaluate(view(port=1080, epoch=late)) is not None
+        assert rule.evaluate(view(port=1080, epoch=early)) is not None
+        assert rule.evaluate(view(port=1080, epoch=midday)) is None
+
+    def test_inner_must_still_match(self):
+        rule = TimeOfDayRule(self.inner, 0, 24)
+        assert rule.evaluate(view(port=80)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeOfDayRule(self.inner, 5, 5)
+        with pytest.raises(ValueError):
+            TimeOfDayRule(self.inner, -1, 5)
+
+
+class TestBrowserTypeRule:
+    rule = BrowserTypeRule(["skype", "bittorrent"])
+
+    def test_blocks_marked_agent(self):
+        verdict = self.rule.evaluate(view(user_agent="Skype WISPr"))
+        assert verdict is not None
+
+    def test_case_insensitive(self):
+        assert self.rule.evaluate(view(user_agent="BitTorrent/7.2")) is not None
+
+    def test_allows_browsers(self):
+        assert self.rule.evaluate(view(user_agent="Mozilla/5.0")) is None
+
+    def test_abstains_without_agent(self):
+        assert self.rule.evaluate(view()) is None
+
+
+class TestExtensionRule:
+    rule = ExtensionRule([".exe", "torrent"])
+
+    def test_blocks_extension(self):
+        assert self.rule.evaluate(view(path="/dl/setup.exe")) is not None
+        assert self.rule.evaluate(view(path="/files/movie.TORRENT")) is not None
+
+    def test_allows_other_extensions(self):
+        assert self.rule.evaluate(view(path="/page.html")) is None
+        assert self.rule.evaluate(view(path="/no-extension")) is None

@@ -1,0 +1,163 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These target invariants of the core machinery rather than individual
+functions: policy determinism and soundness, log-format robustness,
+frame algebra, classification totality.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.frame import LogFrame, concat
+from repro.logmodel.classify import TrafficClass, classify_exception
+from repro.logmodel.record import LogRecord
+from repro.policy import (
+    DomainBlacklistRule,
+    KeywordRule,
+    PolicyEngine,
+    RequestView,
+)
+from repro.policy.rules import Action
+from tests.helpers import make_record
+
+# -- strategies -------------------------------------------------------------
+
+host_strategy = st.from_regex(r"[a-z]{1,8}(\.[a-z]{2,6}){1,2}", fullmatch=True)
+path_strategy = st.from_regex(r"(/[a-zA-Z0-9_.-]{0,12}){0,4}", fullmatch=True)
+query_strategy = st.from_regex(r"([a-z]{1,6}=[a-zA-Z0-9]{0,8}(&)?){0,3}",
+                               fullmatch=True)
+text_strategy = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           exclude_categories=("Cs", "Cc")),
+    max_size=40,
+)
+
+
+def request_views():
+    return st.builds(
+        RequestView,
+        host=host_strategy,
+        path=path_strategy,
+        query=query_strategy,
+        port=st.integers(1, 65535),
+        method=st.sampled_from(["GET", "POST", "CONNECT"]),
+        epoch=st.integers(1_300_000_000, 1_320_000_000),
+    )
+
+
+# -- policy invariants --------------------------------------------------------
+
+class TestPolicyProperties:
+    @given(request_views())
+    def test_engine_is_deterministic(self, view):
+        engine = PolicyEngine([
+            KeywordRule(["proxy", "israel"]),
+            DomainBlacklistRule(["metacafe.com"], suffixes=[".il"]),
+        ])
+        first = engine.evaluate(view)
+        second = engine.evaluate(view)
+        assert first == second
+
+    @given(request_views())
+    def test_keyword_rule_soundness(self, view):
+        """The rule fires iff the keyword is a substring of the
+        matchable text — no more, no less."""
+        rule = KeywordRule(["proxy"])
+        verdict = rule.evaluate(view)
+        contains = "proxy" in view.matchable_text()
+        assert (verdict is not None) == contains
+
+    @given(request_views())
+    def test_allow_verdict_has_no_exception(self, view):
+        engine = PolicyEngine([KeywordRule(["zzzznevermatches"])])
+        verdict = engine.evaluate(view)
+        assert verdict.action is Action.ALLOW
+        assert verdict.exception_id == "-"
+
+    @given(request_views(), st.permutations(["a", "b", "c"]))
+    def test_disjoint_rules_commute(self, view, order):
+        """Rules that can never both match give order-independent
+        verdicts."""
+        rules = {
+            "a": KeywordRule(["proxy"]),
+            "b": DomainBlacklistRule(["metacafe.com"]),
+            "c": KeywordRule(["israel"]),
+        }
+        # make matches disjoint by construction: only evaluate when at
+        # most one rule matches
+        matching = [k for k, rule in rules.items()
+                    if rule.evaluate(view) is not None]
+        if len(matching) > 1:
+            return
+        engine = PolicyEngine([rules[k] for k in order])
+        baseline = PolicyEngine([rules[k] for k in ("a", "b", "c")])
+        assert engine.evaluate(view).exception_id == baseline.evaluate(
+            view
+        ).exception_id
+
+
+# -- log format robustness -----------------------------------------------------
+
+class TestRecordProperties:
+    @settings(max_examples=60)
+    @given(
+        host=text_strategy.filter(lambda s: "\r" not in s and "\n" not in s),
+        path=text_strategy.filter(lambda s: "\r" not in s and "\n" not in s),
+        query=text_strategy.filter(lambda s: "\r" not in s and "\n" not in s),
+        agent=text_strategy.filter(lambda s: "\r" not in s and "\n" not in s),
+    )
+    def test_row_roundtrip_arbitrary_content(self, host, path, query, agent):
+        """Commas, quotes and unicode in fields survive the CSV layer."""
+        record = make_record(
+            cs_host=host, cs_uri_path=path, cs_uri_query=query,
+            cs_user_agent=agent,
+        )
+        assert LogRecord.from_row(record.to_row()) == record
+
+    @given(st.sampled_from([
+        "-", "policy_denied", "policy_redirect", "tcp_error",
+        "internal_error", "dns_server_failure", "something_new",
+    ]))
+    def test_classification_is_total(self, exception_id):
+        assert classify_exception(exception_id) in TrafficClass
+
+
+# -- frame algebra ---------------------------------------------------------------
+
+class TestFrameProperties:
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 9)),
+                    min_size=1, max_size=40))
+    def test_mask_partition(self, pairs):
+        """A mask and its complement partition the frame."""
+        frame = LogFrame({
+            "k": np.array([k for k, _ in pairs], dtype=object),
+            "v": np.array([v for _, v in pairs], dtype=np.int64),
+        })
+        mask = frame["v"] > 4
+        assert len(frame.where(mask)) + len(frame.where(~mask)) == len(frame)
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 9)),
+                    min_size=1, max_size=30))
+    def test_concat_preserves_counts(self, pairs):
+        frame = LogFrame({
+            "k": np.array([k for k, _ in pairs], dtype=object),
+            "v": np.array([v for _, v in pairs], dtype=np.int64),
+        })
+        doubled = concat([frame, frame])
+        assert len(doubled) == 2 * len(frame)
+        for key, count in frame.value_counts("k"):
+            assert dict(doubled.value_counts("k"))[key] == 2 * count
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        st.floats(0.0, 1.0),
+    )
+    def test_sample_size(self, values, fraction):
+        frame = LogFrame({"v": np.array(values, dtype=np.int64)})
+        sampled = frame.sample(fraction, np.random.default_rng(0))
+        assert len(sampled) == round(len(frame) * fraction)
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=50))
+    def test_value_counts_sum(self, keys):
+        frame = LogFrame({"k": np.array(keys, dtype=object)})
+        assert sum(c for _, c in frame.value_counts("k")) == len(keys)

@@ -1,0 +1,144 @@
+"""More property-based tests: extension rules, economics, page views,
+the audit, and the GroupBy numeric aggregates."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.analysis.economics import censorship_economics
+from repro.analysis.pageviews import page_view_breakdown
+from repro.frame import LogFrame
+from repro.logmodel.audit import AuditFindings, audit_record_cip
+from repro.policy.extensions import ExtensionRule, PortRule, TimeOfDayRule
+from repro.policy.rules import RequestView
+from tests.helpers import allowed_row, censored_row, make_frame
+
+
+def traffic_rows():
+    """Random mixes of allowed/censored rows over a small host pool."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["a.com", "b.com", "c.com"]),
+            st.booleans(),  # censored?
+            st.sampled_from(["u1", "u2", "u3"]),
+            st.integers(0, 3600),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+def build(rows):
+    return make_frame([
+        (censored_row if is_censored else allowed_row)(
+            cs_host=host, c_ip=client, epoch=1312329600 + offset
+        )
+        for host, is_censored, client, offset in rows
+    ])
+
+
+class TestEconomicsProperties:
+    @given(traffic_rows())
+    def test_indices_partition_censored(self, rows):
+        frame = build(rows)
+        result = censorship_economics(frame)
+        assert (
+            result.collateral_requests + result.targeted_requests
+            == result.censored_total
+        )
+        assert 0.0 <= result.stealth_index_pct <= 100.0
+
+    @given(traffic_rows())
+    def test_stealth_consistent_with_users(self, rows):
+        frame = build(rows)
+        result = censorship_economics(frame)
+        assert 0 <= result.unaffected_users <= result.total_users
+
+
+class TestPageViewProperties:
+    @given(traffic_rows())
+    def test_views_bounded_by_requests(self, rows):
+        frame = build(rows)
+        result = page_view_breakdown(frame)
+        assert 1 <= result.page_views <= result.requests
+        assert result.requests_per_view >= 1.0
+
+    @given(traffic_rows())
+    def test_censored_views_track_censored_requests(self, rows):
+        """A view is censored iff it contains a censored request, so
+        censored views exist exactly when censored requests do, and
+        never outnumber them.  (The *share* comparison is not a
+        universal invariant — it holds empirically because allowed
+        requests cluster into views more than censored ones do.)"""
+        frame = build(rows)
+        result = page_view_breakdown(frame)
+        censored_requests = result.request_censored_pct * result.requests / 100
+        censored_views = result.page_censored_pct * result.page_views / 100
+        assert (censored_views > 0) == (censored_requests > 0)
+        assert censored_views <= censored_requests + 1e-6
+
+
+class TestAuditProperties:
+    @given(st.lists(st.sampled_from(
+        ["0.0.0.0", "31.9.1.2", "10.0.0.1", "deadbeef01234567", "ffff0000"]
+    ), max_size=30))
+    def test_counts_partition(self, cips):
+        findings = AuditFindings()
+        for c_ip in cips:
+            audit_record_cip(c_ip, findings)
+        assert (
+            findings.zeroed + findings.hashed + findings.raw_client_addresses
+            == findings.records == len(cips)
+        )
+        assert findings.safe == ("31.9.1.2" not in cips and "10.0.0.1" not in cips)
+
+
+class TestExtensionRuleProperties:
+    @given(st.integers(1, 65535), st.sets(st.integers(1, 65535), max_size=6))
+    def test_port_rule_soundness(self, port, blocked):
+        rule = PortRule(blocked)
+        verdict = rule.evaluate(RequestView(host="x.com", port=port))
+        assert (verdict is not None) == (port in blocked)
+
+    @given(
+        st.integers(0, 23),
+        st.integers(0, 23),
+        st.integers(1_312_329_600, 1_312_329_600 + 7 * 86400),
+    )
+    def test_time_window_covers_complement(self, start, end, epoch):
+        """A rule inside [s,e) plus one inside the complement window
+        fire exactly once for any epoch (when s != e)."""
+        if start == end:
+            return
+        inner = PortRule([1080])
+        view = RequestView(host="x.com", port=1080, epoch=epoch)
+        in_window = TimeOfDayRule(inner, start, end).evaluate(view)
+        out_window = TimeOfDayRule(inner, end, start).evaluate(view)
+        assert (in_window is None) != (out_window is None)
+
+    @given(st.from_regex(r"/[a-z0-9/]{0,12}(\.[a-z]{1,5})?", fullmatch=True))
+    def test_extension_rule_only_matches_listed(self, path):
+        rule = ExtensionRule(["exe"])
+        verdict = rule.evaluate(RequestView(host="x.com", path=path))
+        matches = path.lower().endswith(".exe")
+        assert (verdict is not None) == matches
+
+
+class TestGroupByAggregateProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from("ab"), st.integers(-50, 50)),
+        min_size=1, max_size=40,
+    ))
+    def test_min_max_mean_bruteforce(self, pairs):
+        frame = LogFrame({
+            "k": np.array([k for k, _ in pairs], dtype=object),
+            "v": np.array([v for _, v in pairs], dtype=np.int64),
+        })
+        grouped = frame.groupby("k")
+        expected: dict[str, list[int]] = {}
+        for k, v in pairs:
+            expected.setdefault(k, []).append(v)
+        assert grouped.min("v") == {k: float(min(vs)) for k, vs in expected.items()}
+        assert grouped.max("v") == {k: float(max(vs)) for k, vs in expected.items()}
+        means = grouped.mean("v")
+        for k, vs in expected.items():
+            assert abs(means[k] - sum(vs) / len(vs)) < 1e-9

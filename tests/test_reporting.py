@@ -1,0 +1,55 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.reporting import format_pct, render_series, render_table
+from repro.reporting.tables import render_bar_chart
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["Domain", "Requests"],
+            [["facebook.com", 100], ["x.com", 2]],
+            title="Top domains",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Top domains"
+        assert "Domain" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("facebook.com")
+        # columns aligned: 'Requests' values start at the same offset
+        offset = lines[1].index("Requests")
+        assert lines[3][offset:].strip() == "100"
+
+    def test_no_title(self):
+        text = render_table(["A"], [["x"]])
+        assert text.splitlines()[0] == "A"
+
+
+class TestRenderSeries:
+    def test_downsampling(self):
+        points = [(i, float(i)) for i in range(100)]
+        text = render_series(points, max_points=10)
+        assert len(text.splitlines()) <= 12
+
+    def test_empty(self):
+        assert "(empty series)" in render_series([])
+
+    def test_title(self):
+        assert render_series([(1, 2)], title="T").splitlines()[0] == "T"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert "(no data)" in render_bar_chart([])
+
+
+class TestFormatPct:
+    def test_format(self):
+        assert format_pct(12.3456) == "12.35%"
+        assert format_pct(0.5, digits=1) == "0.5%"

@@ -1,0 +1,133 @@
+"""Tests for the stats helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    cdf_points,
+    cosine_similarity,
+    fit_power_law,
+    log_histogram,
+    pairwise_cosine,
+    requests_per_domain_histogram,
+)
+from repro.stats.distributions import fraction_at_or_below
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {"a": 3, "b": 4}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1}, {"b": 1}) == 0.0
+
+    def test_known_value(self):
+        # cos between (1,1) and (1,0) = 1/sqrt(2)
+        assert cosine_similarity({"a": 1, "b": 1}, {"a": 1}) == pytest.approx(
+            1 / math.sqrt(2)
+        )
+
+    def test_empty_vector(self):
+        assert cosine_similarity({}, {"a": 1}) == 0.0
+
+    def test_scale_invariant(self):
+        a = {"x": 2, "y": 5}
+        b = {"x": 20, "y": 50}
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_pairwise_matrix(self):
+        vectors = {"p": {"a": 1}, "q": {"a": 1, "b": 1}, "r": {"b": 1}}
+        names, matrix = pairwise_cosine(vectors, order=["p", "q", "r"])
+        assert names == ["p", "q", "r"]
+        assert matrix[0][0] == pytest.approx(1.0)
+        assert matrix[0][2] == 0.0
+        assert matrix[0][1] == pytest.approx(matrix[1][0])
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"), st.floats(0.1, 100), min_size=1, max_size=6
+        ),
+        st.dictionaries(
+            st.sampled_from("abcdef"), st.floats(0.1, 100), min_size=1, max_size=6
+        ),
+    )
+    def test_bounds_property(self, a, b):
+        value = cosine_similarity(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestPowerLaw:
+    def test_histogram(self):
+        counts = np.array([1, 1, 1, 2, 2, 5])
+        assert requests_per_domain_histogram(counts) == [(1, 3), (2, 2), (5, 1)]
+
+    def test_histogram_drops_zeros(self):
+        assert requests_per_domain_histogram(np.array([0, 0, 3])) == [(3, 1)]
+
+    def test_histogram_empty(self):
+        assert requests_per_domain_histogram(np.array([])) == []
+
+    def test_fit_recovers_exponent(self):
+        rng = np.random.default_rng(0)
+        # continuous samples from a power law with alpha = 2.5; fit in
+        # the tail where the continuous-approximation MLE is unbiased
+        samples = rng.pareto(1.5, size=50_000) + 1
+        alpha = fit_power_law(samples, xmin=5, discrete=False)
+        assert 2.35 < alpha < 2.65
+
+    def test_fit_respects_xmin(self):
+        rng = np.random.default_rng(1)
+        samples = rng.pareto(1.5, size=20_000) + 1
+        # adding sub-xmin noise must not change the tail fit much
+        noisy = np.concatenate([samples, np.full(5_000, 2.0)])
+        assert abs(
+            fit_power_law(samples, xmin=5, discrete=False)
+            - fit_power_law(noisy, xmin=5, discrete=False)
+        ) < 0.05
+
+    def test_fit_needs_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1]))
+
+
+class TestDistributions:
+    def test_cdf_points_monotone(self):
+        points = cdf_points(np.array([3, 1, 2, 2]))
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cdf_collapses_duplicates(self):
+        points = cdf_points(np.array([1, 1, 1]))
+        assert points == [(1.0, 1.0)]
+
+    def test_cdf_empty(self):
+        assert cdf_points(np.array([])) == []
+
+    def test_fraction_at_or_below(self):
+        values = np.array([1, 2, 3, 4])
+        assert fraction_at_or_below(values, 2) == 0.5
+        assert fraction_at_or_below(values, 0) == 0.0
+        assert fraction_at_or_below(np.array([]), 5) == 0.0
+
+    def test_log_histogram_covers_all_positive(self):
+        values = np.array([1, 10, 100, 1000])
+        bins = log_histogram(values, bins=6)
+        assert sum(count for _, count in bins) == 4
+
+    def test_log_histogram_single_value(self):
+        assert log_histogram(np.array([5, 5])) == [(5.0, 2)]
+
+    def test_log_histogram_empty(self):
+        assert log_histogram(np.array([0, -1])) == []
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50))
+    def test_cdf_ends_at_one_property(self, values):
+        points = cdf_points(np.array(values))
+        assert points[-1][1] == pytest.approx(1.0)
