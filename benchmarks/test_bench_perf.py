@@ -8,6 +8,8 @@ ELFF serialization) so regressions show up in the benchmark report.
 from __future__ import annotations
 
 import io
+import os
+import time
 
 import numpy as np
 
@@ -96,6 +98,75 @@ def test_perf_geoip_lookup(benchmark):
     addresses = rng.integers(0, 2**32 - 1, 100_000)
     countries = benchmark(lambda: db.lookup_many(addresses))
     assert len(countries) == 100_000
+
+
+def test_perf_sharded_engine_parallel_vs_serial(tmp_path):
+    """Parallel-vs-serial throughput of the sharded simulate→analyze
+    engine on the bench scenario.
+
+    Always verifies worker-count-invariance (identical day records and
+    identical Table 3/Table 4 numbers); the ≥1.5× speedup assertion for
+    4 workers only fires on hosts that actually have ≥4 cores, since a
+    process pool cannot beat serial on a single-core box.
+    """
+    from repro.engine import analyze_logs, simulate_day_records, write_logs
+    from repro.workload.config import (
+        DEFAULT_USER_DAY_BOOST,
+        DEFAULT_BOOSTS,
+        ScenarioConfig,
+    )
+
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+    config = ScenarioConfig(
+        total_requests=scale,
+        seed=2014,
+        boosts=dict(DEFAULT_BOOSTS),
+        user_day_boost=DEFAULT_USER_DAY_BOOST,
+    )
+
+    start = time.perf_counter()
+    serial_days = simulate_day_records(config, workers=1)
+    simulate_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_days = simulate_day_records(config, workers=4)
+    simulate_parallel = time.perf_counter() - start
+
+    assert list(serial_days) == list(parallel_days)
+    for day in serial_days:
+        assert serial_days[day] == parallel_days[day]
+
+    paths = [
+        path for path, _ in write_logs(serial_days, tmp_path, per_day=True)
+    ]
+    start = time.perf_counter()
+    serial_analysis, _ = analyze_logs(paths, workers=1)
+    analyze_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_analysis, _ = analyze_logs(paths, workers=4)
+    analyze_parallel = time.perf_counter() - start
+
+    # Table 3 + Table 4 numbers identical at every worker count
+    assert parallel_analysis == serial_analysis
+    assert parallel_analysis.breakdown() == serial_analysis.breakdown()
+    assert parallel_analysis.top_allowed(10) == serial_analysis.top_allowed(10)
+    assert parallel_analysis.top_censored(10) == (
+        serial_analysis.top_censored(10)
+    )
+
+    simulate_speedup = simulate_serial / simulate_parallel
+    analyze_speedup = analyze_serial / analyze_parallel
+    total = sum(len(records) for records in serial_days.values())
+    print(
+        f"\nengine @ {total:,} records: "
+        f"simulate {simulate_serial:.2f}s -> {simulate_parallel:.2f}s "
+        f"({simulate_speedup:.2f}x), "
+        f"analyze {analyze_serial:.2f}s -> {analyze_parallel:.2f}s "
+        f"({analyze_speedup:.2f}x) at 4 workers"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert simulate_speedup >= 1.5
 
 
 def test_perf_elff_roundtrip(benchmark):

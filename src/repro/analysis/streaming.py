@@ -113,7 +113,14 @@ class StreamingAnalysis:
 
     def merge(self, other: "StreamingAnalysis") -> "StreamingAnalysis":
         """Combine two accumulators (e.g. one per log file, processed
-        in parallel); returns self."""
+        in parallel); returns self.
+
+        ``merge`` is the reduce operation of the sharded engine: it is
+        associative and commutative, ``StreamingAnalysis()`` is its
+        identity, and merging any split of a record stream equals
+        consuming the stream in one pass (the merge laws pinned by
+        the property tests).
+        """
         self.total += other.total
         self.allowed += other.allowed
         self.censored += other.censored
@@ -124,3 +131,42 @@ class StreamingAnalysis:
         self.censored_domains.update(other.censored_domains)
         self.day_volumes.update(other.day_volumes)
         return self
+
+    def copy(self) -> "StreamingAnalysis":
+        """An independent accumulator with the same state."""
+        return StreamingAnalysis().merge(self)
+
+    def _state(self) -> tuple:
+        return (
+            self.total, self.allowed, self.censored, self.errors,
+            self.proxied, self.exceptions, self.allowed_domains,
+            self.censored_domains, self.day_volumes,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamingAnalysis):
+            return NotImplemented
+        return self._state() == other._state()
+
+    def __iadd__(self, other: "StreamingAnalysis") -> "StreamingAnalysis":
+        """``acc += part`` — in-place merge."""
+        if not isinstance(other, StreamingAnalysis):
+            return NotImplemented
+        return self.merge(other)
+
+    def __add__(self, other: "StreamingAnalysis") -> "StreamingAnalysis":
+        """Non-mutating merge; with the empty-accumulator identity this
+        makes ``sum(parts, StreamingAnalysis())`` work."""
+        if not isinstance(other, StreamingAnalysis):
+            return NotImplemented
+        return self.copy().merge(other)
+
+    @classmethod
+    def merge_all(
+        cls, parts: Iterable["StreamingAnalysis"]
+    ) -> "StreamingAnalysis":
+        """Reduce any number of per-shard accumulators into one."""
+        merged = cls()
+        for part in parts:
+            merged.merge(part)
+        return merged

@@ -28,6 +28,21 @@ from pathlib import Path
 from repro.version import __version__
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. --workers)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+_WORKERS_HELP = "worker processes (default 1 = serial; results are " \
+                "identical at every worker count)"
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,6 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="split files further by log day")
     simulate.add_argument("--boosts", action="store_true",
                           help="oversample rare traffic components")
+    simulate.add_argument("--workers", type=_positive_int, default=1,
+                          help=_WORKERS_HELP)
 
     analyze = commands.add_parser(
         "analyze", help="summarize ELFF logs (Tables 3 and 4)"
@@ -60,6 +77,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--streaming", action="store_true",
                          help="single-pass constant-memory analysis "
                               "(for logs too large to load)")
+    analyze.add_argument("--workers", type=_positive_int, default=1,
+                         help=_WORKERS_HELP)
 
     recover = commands.add_parser(
         "recover", help="recover the filtering policy from ELFF logs"
@@ -74,25 +93,22 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=42)
     report.add_argument("--markdown", type=Path, default=None,
                         help="also write the report as a Markdown file")
+    report.add_argument("--workers", type=_positive_int, default=1,
+                        help=_WORKERS_HELP)
     return parser
 
 
-def _load_frames(paths: list[Path]):
-    from repro.frame import concat, frame_from_records
-    from repro.logmodel.elff import read_log
+def _load_frames(paths: list[Path], workers: int = 1):
+    from repro.engine import load_frames
 
-    frames = []
     for path in paths:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
-        frames.append(frame_from_records(read_log(path)))
-    return concat(frames) if len(frames) > 1 else frames[0]
+    return load_frames(paths, workers=workers)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.datasets import build_scenario
-    from repro.logmodel.elff import write_log
-    from repro.logmodel.record import LogRecord
+    from repro.engine import simulate_day_records, write_logs
     from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
 
     config = ScenarioConfig(
@@ -100,51 +116,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS) if args.boosts else {},
     )
-    print(f"simulating {args.requests:,} requests (seed {args.seed})...")
-    datasets = build_scenario(config)
-    args.out.mkdir(parents=True, exist_ok=True)
-
-    frame = datasets.full
-    records = []
-    for i in range(len(frame)):
-        row = frame.row(i)
-        records.append(LogRecord(
-            epoch=int(row["epoch"]),
-            c_ip=str(row["c_ip"]),
-            s_ip=str(row["s_ip"]),
-            cs_host=str(row["cs_host"]),
-            cs_uri_scheme=str(row["cs_uri_scheme"]),
-            cs_uri_port=int(row["cs_uri_port"]),
-            cs_uri_path=str(row["cs_uri_path"]),
-            cs_uri_query=str(row["cs_uri_query"]),
-            cs_uri_ext=str(row["cs_uri_ext"]),
-            cs_method=str(row["cs_method"]),
-            cs_user_agent=str(row["cs_user_agent"]),
-            sc_filter_result=str(row["sc_filter_result"]),
-            x_exception_id=str(row["x_exception_id"]),
-            cs_categories=str(row["cs_categories"]),
-            sc_status=int(row["sc_status"]),
-            s_action=str(row["s_action"]),
-        ))
-    if args.per_proxy or args.per_day:
-        from repro.timeline import epoch_day
-
-        grouped: dict[str, list] = {}
-        for record in records:
-            parts = []
-            if args.per_proxy:
-                parts.append(f"sg-{record.s_ip.rsplit('.', 1)[-1]}")
-            if args.per_day:
-                parts.append(epoch_day(record.epoch))
-            grouped.setdefault("_".join(parts), []).append(record)
-        for stem, group_records in sorted(grouped.items()):
-            path = args.out / f"{stem}.log"
-            count = write_log(group_records, path)
-            print(f"  wrote {count:>8,} records -> {path}")
-    else:
-        path = args.out / "proxies.log"
-        count = write_log(records, path)
-        print(f"  wrote {count:,} records -> {path}")
+    suffix = f", {args.workers} workers" if args.workers > 1 else ""
+    print(f"simulating {args.requests:,} requests "
+          f"(seed {args.seed}{suffix})...")
+    day_records = simulate_day_records(config, workers=args.workers)
+    for path, count in write_logs(
+        day_records, args.out,
+        per_proxy=args.per_proxy, per_day=args.per_day,
+    ):
+        print(f"  wrote {count:>8,} records -> {path}")
     return 0
 
 
@@ -154,7 +134,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     if args.streaming:
         return _analyze_streaming(args)
-    frame = _load_frames(args.logs)
+    frame = _load_frames(args.logs, workers=args.workers)
     breakdown = traffic_breakdown(frame)
     print(render_table(
         ["Class", "Requests", "%"],
@@ -189,15 +169,13 @@ def _zip_longest(a, b):
 
 
 def _analyze_streaming(args: argparse.Namespace) -> int:
-    from repro.analysis.streaming import StreamingAnalysis
-    from repro.logmodel.elff import read_log
+    from repro.engine import analyze_logs
     from repro.reporting import render_table
 
-    acc = StreamingAnalysis()
     for path in args.logs:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
-        acc.consume(read_log(path, lenient=True))
+    acc, stats = analyze_logs(args.logs, workers=args.workers)
     breakdown = acc.breakdown()
     print(render_table(
         ["Class", "Requests", "%"],
@@ -214,6 +192,9 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
         [[domain, count] for domain, count in acc.top_censored(args.top)],
         title="\nTop censored domains",
     ))
+    if stats.skipped:
+        print(f"(skipped {stats.skipped:,} malformed lines; "
+              f"first error: {stats.first_error})")
     return 0
 
 
@@ -259,15 +240,15 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
-    from repro.datasets import build_scenario
+    from repro.engine import build_scenario_sharded
     from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
 
     print(f"simulating {args.requests:,} requests and running the full "
           "pipeline...")
-    datasets = build_scenario(ScenarioConfig(
+    datasets = build_scenario_sharded(ScenarioConfig(
         total_requests=args.requests, seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS),
-    ))
+    ), workers=args.workers)
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")

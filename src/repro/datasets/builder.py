@@ -59,7 +59,9 @@ def _build_categorizer(generator: TrafficGenerator) -> TrustedSourceCategorizer:
     return categorizer
 
 
-def _anonymize(records: list[LogRecord], user_spans: list[tuple[int, int]]) -> None:
+def anonymize_records(
+    records: list[LogRecord], user_spans: list[tuple[int, int]]
+) -> None:
     """Apply the Telecomix release treatment to client addresses."""
     for record in records:
         in_user_slice = any(
@@ -69,6 +71,42 @@ def _anonymize(records: list[LogRecord], user_spans: list[tuple[int, int]]) -> N
             record.c_ip = hash_client_ip(record.c_ip)
         else:
             record.c_ip = zero_client_ip(record.c_ip)
+
+
+def assemble_datasets(
+    records: list[LogRecord],
+    records_by_day: dict[str, int],
+    config: ScenarioConfig,
+    generator: TrafficGenerator,
+    policy: SyrianPolicy,
+    rng: np.random.Generator,
+    sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
+) -> ScenarioDatasets:
+    """Assemble the four analysis datasets from simulated records.
+
+    Shared tail of every scenario build (serial, custom-policy, and
+    the sharded engine): frame conversion, the D_sample draw from
+    *rng*, and the D_user/D_denied masks.
+    """
+    full = frame_from_records(records)
+    sample = full.sample(sample_fraction, rng)
+    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
+    user_mask = np.zeros(len(full), dtype=bool)
+    epochs = full.col("epoch")
+    for start, end in user_spans:
+        user_mask |= (epochs >= start) & (epochs < end)
+    return ScenarioDatasets(
+        full=full,
+        sample=sample,
+        user=full.where(user_mask),
+        denied=full.where(full.col("x_exception_id") != "-"),
+        config=config,
+        policy=policy,
+        generator=generator,
+        categorizer=_build_categorizer(generator),
+        sample_fraction=sample_fraction,
+        records_by_day=records_by_day,
+    )
 
 
 def build_scenario(
@@ -95,28 +133,11 @@ def build_scenario(
     records_by_day: dict[str, int] = {}
     for day, requests in generator.generate():
         day_records = [fleet.process(request, rng) for request in requests]
-        _anonymize(day_records, user_spans)
+        anonymize_records(day_records, user_spans)
         records_by_day[day] = len(day_records)
         all_records.extend(day_records)
 
-    full = frame_from_records(all_records)
-    sample = full.sample(sample_fraction, rng)
-    user_mask = np.zeros(len(full), dtype=bool)
-    epochs = full.col("epoch")
-    for start, end in user_spans:
-        user_mask |= (epochs >= start) & (epochs < end)
-    user = full.where(user_mask)
-    denied = full.where(full.col("x_exception_id") != "-")
-
-    return ScenarioDatasets(
-        full=full,
-        sample=sample,
-        user=user,
-        denied=denied,
-        config=config,
-        policy=policy,
-        generator=generator,
-        categorizer=_build_categorizer(generator),
-        sample_fraction=sample_fraction,
-        records_by_day=records_by_day,
+    return assemble_datasets(
+        all_records, records_by_day, config, generator, policy, rng,
+        sample_fraction,
     )

@@ -1,0 +1,59 @@
+"""Sharded parallel simulate→analyze execution layer.
+
+The paper's pipeline chewed through 600 GB / 751 M requests; this
+package is how the reproduction scales in the same direction.  The
+workload partitions along the leak's own natural boundary — log-days ×
+proxies — into independent shards:
+
+* :mod:`repro.engine.shards` derives per-shard seeds from the scenario
+  seed with ``SeedSequence.spawn`` (worker-count-invariant);
+* :mod:`repro.engine.pool` fans shards over a process pool, with a
+  zero-dependency serial path at ``workers=1``, shard-labelled error
+  propagation, and graceful degradation to serial when no pool can run;
+* :mod:`repro.engine.simulate` maps shards to simulated log-days and
+  writes ELFF output that is byte-identical at every worker count;
+* :mod:`repro.engine.analyze` map-reduces the streaming analysis over
+  log files via the accumulators' ``merge``.
+"""
+
+from repro.engine.analyze import (
+    analyze_logs,
+    analyze_shard,
+    load_frames,
+)
+from repro.engine.pool import (
+    EngineFallbackWarning,
+    ShardError,
+    run_sharded,
+)
+from repro.engine.shards import (
+    ShardPlan,
+    SimShard,
+    child_seed,
+    plan_shards,
+)
+from repro.engine.simulate import (
+    build_scenario_sharded,
+    scenario_context,
+    simulate_day_records,
+    simulate_shard,
+    write_logs,
+)
+
+__all__ = [
+    "EngineFallbackWarning",
+    "ShardError",
+    "ShardPlan",
+    "SimShard",
+    "analyze_logs",
+    "analyze_shard",
+    "build_scenario_sharded",
+    "child_seed",
+    "load_frames",
+    "plan_shards",
+    "run_sharded",
+    "scenario_context",
+    "simulate_day_records",
+    "simulate_shard",
+    "write_logs",
+]

@@ -1,0 +1,66 @@
+"""Sharded log analysis — the reduce side of the engine.
+
+One log file is one shard.  Workers stream-read with the lenient ELFF
+reader and fold into :class:`~repro.analysis.streaming.
+StreamingAnalysis` accumulators; the parent merges the per-file
+accumulators in input order.  Because ``merge`` is associative and
+agrees with single-pass consumption (the merge-law property tests),
+the reduced result is identical to a serial read of the same files at
+every worker count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.streaming import StreamingAnalysis
+from repro.engine.pool import run_sharded
+from repro.frame import LogFrame, concat, frame_from_records
+from repro.logmodel.elff import ReadStats, read_log
+
+
+def analyze_shard(path: str) -> tuple[StreamingAnalysis, ReadStats]:
+    """Stream one log file into a fresh accumulator."""
+    stats = ReadStats()
+    analysis = StreamingAnalysis().consume(
+        read_log(Path(path), lenient=True, stats=stats)
+    )
+    return analysis, stats
+
+
+def analyze_logs(
+    paths: list[Path | str], *, workers: int = 1
+) -> tuple[StreamingAnalysis, ReadStats]:
+    """Map-reduce the streaming analysis over many log files.
+
+    Returns the merged accumulator plus the merged lenient-read
+    bookkeeping (kept/skipped line counts).
+    """
+    parts = run_sharded(
+        analyze_shard,
+        [str(path) for path in paths],
+        workers=workers,
+        labels=[f"log:{Path(path).name}" for path in paths],
+    )
+    analysis = StreamingAnalysis()
+    stats = ReadStats()
+    for part_analysis, part_stats in parts:
+        analysis += part_analysis
+        stats += part_stats
+    return analysis, stats
+
+
+def load_frame_shard(path: str) -> LogFrame:
+    """Load one log file into a columnar frame (strict read)."""
+    return frame_from_records(read_log(Path(path)))
+
+
+def load_frames(paths: list[Path | str], *, workers: int = 1) -> LogFrame:
+    """Parallel counterpart of the CLI's frame loader."""
+    frames = run_sharded(
+        load_frame_shard,
+        [str(path) for path in paths],
+        workers=workers,
+        labels=[f"log:{Path(path).name}" for path in paths],
+    )
+    return concat(frames) if len(frames) > 1 else frames[0]

@@ -1,0 +1,132 @@
+"""Process-pool execution with shard-aware error handling.
+
+The engine's unit of parallelism is a *shard*: a self-contained piece
+of work (one log-day to simulate, one log file to analyze) whose result
+can be merged with its siblings afterwards.  :func:`run_sharded` is the
+single dispatch point:
+
+* ``workers=1`` is a pure serial loop — no pool, no pickling, no
+  multiprocessing dependency at all;
+* with more workers, shards fan out over a ``ProcessPoolExecutor``;
+* a pool that cannot start or that breaks mid-run (a worker killed by
+  the OS, a sandbox that forbids semaphores) degrades gracefully to the
+  serial loop with an :class:`EngineFallbackWarning`, so parallelism is
+  an optimization, never a new failure mode;
+* an ordinary exception raised *inside* a worker is re-raised in the
+  parent wrapped in :class:`ShardError`, which names the failing shard.
+
+Results are always returned in shard order, which is what makes the
+parallel paths bit-reproducible: callers merge in a fixed order no
+matter which worker finished first.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """The pool was unavailable and the engine degraded to serial."""
+
+
+class ShardError(RuntimeError):
+    """A worker failed while processing one shard.
+
+    Carries the shard's label in :attr:`shard_id`; the original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, shard_id: str, error: BaseException):
+        super().__init__(f"shard {shard_id!r} failed: {error!r}")
+        self.shard_id = shard_id
+
+
+def _make_executor(workers: int):
+    """Pool factory, isolated so tests (and broken environments) can
+    observe creation failures."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _warn_fallback(reason: str) -> None:
+    warnings.warn(
+        f"engine: {reason}; falling back to serial execution",
+        EngineFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def _run_serial(
+    task: Callable[[P], R], payloads: Sequence[P], labels: Sequence[str]
+) -> list[R]:
+    results = []
+    for label, payload in zip(labels, payloads):
+        try:
+            results.append(task(payload))
+        except Exception as error:
+            raise ShardError(label, error) from error
+    return results
+
+
+def run_sharded(
+    task: Callable[[P], R],
+    payloads: Iterable[P],
+    *,
+    workers: int = 1,
+    labels: Sequence[str] | None = None,
+) -> list[R]:
+    """Run *task* over every payload, returning results in input order.
+
+    *task* must be a module-level callable and the payloads picklable
+    when ``workers > 1`` (the serial path has no such constraint).
+    *labels* name the shards in error messages; they default to
+    ``shard-<index>``.
+    """
+    payloads = list(payloads)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if labels is None:
+        labels = [f"shard-{index}" for index in range(len(payloads))]
+    else:
+        labels = [str(label) for label in labels]
+        if len(labels) != len(payloads):
+            raise ValueError(
+                f"{len(labels)} labels for {len(payloads)} payloads"
+            )
+    effective = min(workers, len(payloads))
+    if effective <= 1:
+        return _run_serial(task, payloads, labels)
+
+    try:
+        executor = _make_executor(effective)
+    except Exception as error:  # no pool available in this environment
+        _warn_fallback(f"could not start a {effective}-worker pool ({error!r})")
+        return _run_serial(task, payloads, labels)
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        futures = [executor.submit(task, payload) for payload in payloads]
+        results = []
+        for label, future in zip(labels, futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as error:
+                _warn_fallback(
+                    f"worker pool broke while running {label!r} ({error!r})"
+                )
+                return _run_serial(task, payloads, labels)
+            except Exception as error:
+                raise ShardError(label, error) from error
+        return results
+    except BrokenProcessPool as error:  # broke during submission
+        _warn_fallback(f"worker pool broke during dispatch ({error!r})")
+        return _run_serial(task, payloads, labels)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

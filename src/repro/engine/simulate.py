@@ -1,0 +1,182 @@
+"""Sharded scenario simulation — the map side of the engine.
+
+Each shard generates, filters, and anonymizes one log-day.  A worker
+rebuilds the scenario context (generator + policy + fleet)
+deterministically from the config — ground truth is a pure function of
+the seed, so every process sees the same universe — and caches it per
+process, so a nine-shard run costs one construction per worker, not
+one per shard.
+
+Two consumers sit on top:
+
+* :func:`simulate_day_records` / :func:`write_logs` back the CLI's
+  ``simulate --workers N`` and produce byte-identical ELFF output for
+  every worker count;
+* :func:`build_scenario_sharded` assembles a full
+  :class:`~repro.datasets.ScenarioDatasets` (the ``report`` pipeline)
+  from the merged day shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import ScenarioDatasets
+from repro.datasets.builder import (
+    DEFAULT_SAMPLE_FRACTION,
+    anonymize_records,
+    assemble_datasets,
+)
+from repro.engine.pool import run_sharded
+from repro.engine.shards import child_seed, plan_shards
+from repro.logmodel.elff import write_log
+from repro.logmodel.record import LogRecord
+from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.proxy import ProxyFleet
+from repro.timeline import USER_SLICE_DAYS, day_span, epoch_day
+from repro.workload import TrafficGenerator
+from repro.workload.config import ScenarioConfig
+
+
+@dataclass
+class SimContext:
+    """The deterministic per-process scenario ground truth."""
+
+    generator: TrafficGenerator
+    policy: SyrianPolicy
+    fleet: ProxyFleet
+    user_spans: list[tuple[int, int]]
+
+
+#: One cached context per process; keyed by config equality so a pool
+#: reused across configs rebuilds instead of leaking the old universe.
+_CONTEXT: tuple[ScenarioConfig, SimContext] | None = None
+
+
+def scenario_context(config: ScenarioConfig) -> SimContext:
+    """Build (or reuse) the scenario context for *config*."""
+    global _CONTEXT
+    if _CONTEXT is not None and _CONTEXT[0] == config:
+        return _CONTEXT[1]
+    generator = TrafficGenerator(config)
+    policy = build_syrian_policy(
+        generator.sites,
+        tor_directory=generator.tor_directory,
+        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+    )
+    context = SimContext(
+        generator=generator,
+        policy=policy,
+        fleet=ProxyFleet(policy),
+        user_spans=[day_span(day) for day in USER_SLICE_DAYS],
+    )
+    _CONTEXT = (config, context)
+    return context
+
+
+def simulate_shard(
+    payload: tuple[ScenarioConfig, str, np.random.SeedSequence],
+) -> list[LogRecord]:
+    """Generate, filter, and anonymize one log-day.
+
+    The shard seed spawns two independent streams — request generation
+    and fleet processing (routing, errors, cache) — via stateless child
+    derivation, so re-running a shard always replays the same day.
+    """
+    config, day, seed = payload
+    context = scenario_context(config)
+    generation_rng = np.random.default_rng(child_seed(seed, 0))
+    fleet_rng = np.random.default_rng(child_seed(seed, 1))
+    requests = context.generator.generate_day(day, generation_rng)
+    records = [context.fleet.process(request, fleet_rng) for request in requests]
+    anonymize_records(records, context.user_spans)
+    return records
+
+
+def simulate_day_records(
+    config: ScenarioConfig, *, workers: int = 1
+) -> dict[str, list[LogRecord]]:
+    """Simulate every configured log-day, in day order.
+
+    The returned mapping iterates in ``config.days`` order regardless
+    of worker count or completion order.
+    """
+    plan = plan_shards(config)
+    results = run_sharded(
+        simulate_shard,
+        [(config, shard.day, shard.seed) for shard in plan.shards],
+        workers=workers,
+        labels=[shard.shard_id for shard in plan.shards],
+    )
+    return {shard.day: records for shard, records in zip(plan.shards, results)}
+
+
+def build_scenario_sharded(
+    config: ScenarioConfig | None = None,
+    *,
+    workers: int = 1,
+    sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
+) -> ScenarioDatasets:
+    """Sharded counterpart of :func:`repro.datasets.build_scenario`.
+
+    Deterministic for a given config at every worker count (the D_sample
+    draw uses the plan's dedicated sampling seed).  The random streams
+    are sharded per day, so the numbers differ from the serial
+    builder's single-stream run of the same seed — by design: the
+    engine's invariant is worker-count independence, not equality with
+    the legacy stream layout.
+    """
+    config = config or ScenarioConfig()
+    plan = plan_shards(config)
+    day_records = simulate_day_records(config, workers=workers)
+    all_records: list[LogRecord] = []
+    records_by_day: dict[str, int] = {}
+    for day, records in day_records.items():
+        records_by_day[day] = len(records)
+        all_records.extend(records)
+    context = scenario_context(config)
+    rng = np.random.default_rng(plan.sampling_seed)
+    return assemble_datasets(
+        all_records, records_by_day, config, context.generator,
+        context.policy, rng, sample_fraction,
+    )
+
+
+def write_logs(
+    day_records: dict[str, list[LogRecord]],
+    out_dir: Path,
+    *,
+    per_proxy: bool = False,
+    per_day: bool = False,
+) -> list[tuple[Path, int]]:
+    """Write simulated days as ELFF files; returns ``(path, count)``s.
+
+    Grouping mirrors the leak's file structure: combined
+    ``proxies.log`` by default, ``sg-NN[_day].log`` with the flags.
+    Records are written in day order within each file, so output bytes
+    depend only on the day shards, never on worker scheduling.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if not (per_proxy or per_day):
+        records = [
+            record for records in day_records.values() for record in records
+        ]
+        path = out_dir / "proxies.log"
+        return [(path, write_log(records, path))]
+    grouped: dict[str, list[LogRecord]] = {}
+    for records in day_records.values():
+        for record in records:
+            parts = []
+            if per_proxy:
+                parts.append(f"sg-{record.s_ip.rsplit('.', 1)[-1]}")
+            if per_day:
+                parts.append(epoch_day(record.epoch))
+            grouped.setdefault("_".join(parts), []).append(record)
+    return [
+        (out_dir / f"{stem}.log", write_log(group, out_dir / f"{stem}.log"))
+        for stem, group in sorted(grouped.items())
+    ]

@@ -57,6 +57,20 @@ class ReadStats:
     skipped: int = 0
     first_error: str | None = None
 
+    def merge(self, other: "ReadStats") -> "ReadStats":
+        """Fold another reader's bookkeeping in (sharded reads merge
+        one ReadStats per file); returns self."""
+        self.records += other.records
+        self.skipped += other.skipped
+        if self.first_error is None:
+            self.first_error = other.first_error
+        return self
+
+    def __iadd__(self, other: "ReadStats") -> "ReadStats":
+        if not isinstance(other, ReadStats):
+            return NotImplemented
+        return self.merge(other)
+
 
 def read_log(
     source: Path | io.TextIOBase,

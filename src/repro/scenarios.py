@@ -19,9 +19,7 @@ import numpy as np
 from repro.catalog.categories import Category
 from repro.categorizer import TrustedSourceCategorizer
 from repro.datasets import ScenarioDatasets
-from repro.datasets.builder import _build_categorizer  # shared wiring
-from repro.frame import frame_from_records
-from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
+from repro.datasets.builder import anonymize_records, assemble_datasets
 from repro.policy.engine import PolicyEngine
 from repro.policy.extensions import CategoryRule, TimeOfDayRule
 from repro.policy.rules import TorBlockSchedule, TorOnionRule
@@ -60,35 +58,13 @@ def build_custom_scenario(
     records_by_day = {}
     for day, requests in generator.generate():
         day_records = [fleet.process(request, rng) for request in requests]
-        for record in day_records:
-            in_user_slice = any(
-                start <= record.epoch < end for start, end in user_spans
-            )
-            record.c_ip = (
-                hash_client_ip(record.c_ip)
-                if in_user_slice
-                else zero_client_ip(record.c_ip)
-            )
+        anonymize_records(day_records, user_spans)
         records_by_day[day] = len(day_records)
         records.extend(day_records)
 
-    full = frame_from_records(records)
-    sample = full.sample(sample_fraction, rng)
-    epochs = full.col("epoch")
-    user_mask = np.zeros(len(full), dtype=bool)
-    for start, end in user_spans:
-        user_mask |= (epochs >= start) & (epochs < end)
-    return ScenarioDatasets(
-        full=full,
-        sample=sample,
-        user=full.where(user_mask),
-        denied=full.where(full.col("x_exception_id") != "-"),
-        config=config,
-        policy=policy,
-        generator=generator,
-        categorizer=_build_categorizer(generator),
-        sample_fraction=sample_fraction,
-        records_by_day=records_by_day,
+    return assemble_datasets(
+        records, records_by_day, config, generator, policy, rng,
+        sample_fraction,
     )
 
 

@@ -100,3 +100,90 @@ class TestStreamingAnalysis:
     def test_day_volumes(self):
         acc = StreamingAnalysis().consume(records())
         assert sum(acc.day_volumes.values()) == 9
+
+
+def varied_records(n: int = 120, seed: int = 3):
+    """A mixed synthetic stream: several domains, exception ids,
+    filter results, and epochs spanning three log days."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    hosts = ["www.google.com", "www.metacafe.com", "www.a.com",
+             "sub.b.org", "c.net"]
+    exceptions = ["-", "-", "-", "policy_denied", "tcp_error",
+                  "internal_error"]
+    results = ["OBSERVED", "DENIED", "PROXIED"]
+    base = 1312329600
+    return [
+        make_record(
+            cs_host=hosts[int(rng.integers(len(hosts)))],
+            x_exception_id=exceptions[int(rng.integers(len(exceptions)))],
+            sc_filter_result=results[int(rng.integers(len(results)))],
+            epoch=base + int(rng.integers(3 * 86400)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestMergeLaws:
+    """merge(split(records)) == consume(records) — the contract the
+    sharded engine's reduce step rests on."""
+
+    def test_merge_of_random_splits_equals_single_pass(self):
+        import numpy as np
+
+        recs = varied_records()
+        combined = StreamingAnalysis().consume(recs)
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            cuts = sorted(
+                int(c) for c in rng.integers(0, len(recs) + 1, size=3)
+            )
+            bounds = [0, *cuts, len(recs)]
+            parts = [
+                StreamingAnalysis().consume(recs[lo:hi])
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+            merged = StreamingAnalysis.merge_all(parts)
+            assert merged == combined
+            assert merged.breakdown() == combined.breakdown()
+            assert merged.day_volumes == combined.day_volumes
+            assert merged.top_allowed(5) == combined.top_allowed(5)
+            assert merged.top_censored(5) == combined.top_censored(5)
+
+    def test_iadd_is_in_place_merge(self):
+        recs = varied_records(40)
+        acc = StreamingAnalysis().consume(recs[:25])
+        acc += StreamingAnalysis().consume(recs[25:])
+        assert acc == StreamingAnalysis().consume(recs)
+
+    def test_add_is_non_mutating(self):
+        recs = varied_records(30)
+        left = StreamingAnalysis().consume(recs[:10])
+        right = StreamingAnalysis().consume(recs[10:])
+        snapshot = left.copy()
+        total = left + right
+        assert left == snapshot  # operand untouched
+        assert total == StreamingAnalysis().consume(recs)
+
+    def test_empty_accumulator_is_identity(self):
+        acc = StreamingAnalysis().consume(varied_records(20))
+        assert StreamingAnalysis() + acc == acc
+        assert acc + StreamingAnalysis() == acc
+
+    def test_sum_reduces_shards(self):
+        recs = varied_records(60)
+        parts = [
+            StreamingAnalysis().consume(recs[i:i + 15])
+            for i in range(0, 60, 15)
+        ]
+        assert sum(parts, StreamingAnalysis()) == (
+            StreamingAnalysis().consume(recs)
+        )
+
+    def test_copy_is_independent(self):
+        original = StreamingAnalysis().consume(varied_records(10))
+        clone = original.copy()
+        clone.add(make_record(cs_host="www.new.com"))
+        assert clone != original
+        assert clone.total == original.total + 1

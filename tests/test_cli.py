@@ -111,6 +111,73 @@ class TestReport:
         assert "recovered keywords" in capsys.readouterr().out
 
 
+class TestWorkers:
+    """The --workers flag: accepted on simulate/analyze/report,
+    rejected when < 1, and worker-count-invariant in its output."""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--requests", "100", "--out", "x", "--workers", "0"],
+        ["analyze", "some.log", "--workers", "0"],
+        ["report", "--requests", "100", "--workers", "0"],
+        ["simulate", "--requests", "100", "--out", "x", "--workers", "-2"],
+        ["simulate", "--requests", "100", "--out", "x", "--workers", "two"],
+    ])
+    def test_rejects_non_positive_workers(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_simulate_parallel_matches_serial(self, tmp_path):
+        for name, workers in (("serial", "1"), ("parallel", "2")):
+            code = main([
+                "simulate", "--requests", "3000", "--seed", "6",
+                "--out", str(tmp_path / name), "--workers", workers,
+            ])
+            assert code == 0
+        assert (tmp_path / "serial" / "proxies.log").read_bytes() == (
+            tmp_path / "parallel" / "proxies.log"
+        ).read_bytes()
+
+    def test_analyze_streaming_with_workers(self, log_dir, capsys):
+        code = main([
+            "analyze", "--streaming", "--workers", "2",
+            *[str(p) for p in sorted(log_dir.glob("*.log"))],
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Traffic breakdown" in output
+        assert "Top censored domains" in output
+
+    def test_analyze_frames_with_workers(self, log_dir, capsys):
+        code = main([
+            "analyze", "--workers", "2",
+            *[str(p) for p in sorted(log_dir.glob("*.log"))],
+        ])
+        assert code == 0
+        assert "Traffic breakdown" in capsys.readouterr().out
+
+    def test_analyze_workers_match_serial_numbers(self, log_dir, capsys):
+        logs = [str(p) for p in sorted(log_dir.glob("*.log"))]
+        outputs = []
+        for workers in ("1", "3"):
+            assert main([
+                "analyze", "--streaming", "--workers", workers, *logs,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_report_with_workers(self, capsys):
+        code = main([
+            "report", "--requests", "8000", "--seed", "4",
+            "--workers", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "allowed" in output
+        assert "top censored" in output
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -21,7 +21,13 @@ from repro.logmodel.classify import (
     is_censored,
     is_denied,
 )
-from repro.logmodel.elff import LogFormatError, read_log, read_log_rows, write_log
+from repro.logmodel.elff import (
+    LogFormatError,
+    ReadStats,
+    read_log,
+    read_log_rows,
+    write_log,
+)
 from repro.logmodel.fields import (
     FIELDS,
     PROXY_NAMES,
@@ -183,6 +189,83 @@ class TestElff:
         path = tmp_path / "log.csv"
         write_log([record], path)
         assert list(read_log(path)) == [record]
+
+
+class TestLenientEdgeCases:
+    """Degenerate files the Telecomix leak actually contains.  The
+    sharded engine reads every file with ``lenient=True``, so the
+    lenient reader's behavior on these shapes is what keeps parallel
+    analysis identical to serial."""
+
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        path = tmp_path / "truncated.log"
+        records = [make_record(cs_host=f"host{i}.com") for i in range(3)]
+        write_log(records, path)
+        path.write_text(path.read_text()[:-35])  # cut the final row short
+        stats = ReadStats()
+        kept = list(read_log(path, lenient=True, stats=stats))
+        assert kept == records[:2]
+        assert stats.records == 2
+        assert stats.skipped == 1
+        assert stats.first_error is not None
+
+    def test_truncated_line_raises_when_strict(self, tmp_path):
+        path = tmp_path / "truncated.log"
+        write_log([make_record()], path)
+        path.write_text(path.read_text()[:-35])
+        with pytest.raises(LogFormatError):
+            list(read_log(path))
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.log"
+        path.write_text("")
+        stats = ReadStats()
+        assert list(read_log(path, lenient=True, stats=stats)) == []
+        assert (stats.records, stats.skipped) == (0, 0)
+
+    def test_header_only_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "header.log"
+        write_log([], path)  # directives, zero data rows
+        stats = ReadStats()
+        assert list(read_log(path, lenient=True, stats=stats)) == []
+        assert (stats.records, stats.skipped) == (0, 0)
+
+    def test_mid_file_directives_are_skipped(self, tmp_path):
+        """Concatenated logs re-declare their directives mid-file (the
+        leak's files are per-day dumps glued together)."""
+        first = [make_record(cs_host="a.com")]
+        second = [make_record(cs_host="b.com")]
+        path = tmp_path / "mixed.log"
+        with open(path, "w", newline="") as handle:
+            write_log(first, handle)
+            write_log(second, handle)
+        kept = list(read_log(path, lenient=True))
+        assert kept == first + second
+
+    def test_mid_file_schema_change_still_raises(self, tmp_path):
+        path = tmp_path / "bad.log"
+        with open(path, "w", newline="") as handle:
+            write_log([make_record()], handle)
+            handle.write("#Fields: date time\n")
+        with pytest.raises(LogFormatError):
+            list(read_log(path, lenient=True))
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "gaps.log"
+        write_log([make_record()], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_log(path, lenient=True))) == 1
+
+    def test_stats_merge(self):
+        left = ReadStats(records=2, skipped=1, first_error="bad row 3")
+        right = ReadStats(records=5, skipped=2, first_error="bad row 9")
+        left += right
+        assert left == ReadStats(records=7, skipped=3,
+                                 first_error="bad row 3")
+        # first_error fills from the right operand when absent
+        empty = ReadStats()
+        empty += ReadStats(first_error="only error")
+        assert empty.first_error == "only error"
 
 
 class TestAnonymize:

@@ -8,6 +8,7 @@ frame algebra, classification totality.
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.streaming import StreamingAnalysis
 from repro.frame import LogFrame, concat
 from repro.logmodel.classify import TrafficClass, classify_exception
 from repro.logmodel.record import LogRecord
@@ -161,3 +162,71 @@ class TestFrameProperties:
     def test_value_counts_sum(self, keys):
         frame = LogFrame({"k": np.array(keys, dtype=object)})
         assert sum(c for _, c in frame.value_counts("k")) == len(keys)
+
+
+# -- accumulator merge laws ---------------------------------------------------
+
+def log_records():
+    """Generated LogRecords covering every classification branch."""
+    return st.builds(
+        make_record,
+        cs_host=st.sampled_from([
+            "www.a.com", "b.com", "sub.c.org", "d.net", "www.e.co.uk",
+        ]),
+        sc_filter_result=st.sampled_from(["OBSERVED", "DENIED", "PROXIED"]),
+        x_exception_id=st.sampled_from([
+            "-", "policy_denied", "policy_redirect", "tcp_error",
+            "internal_error", "dns_server_failure",
+        ]),
+        epoch=st.integers(1_311_292_800, 1_312_675_200),  # the leak's span
+    )
+
+
+def record_batches(max_size: int = 25):
+    return st.lists(log_records(), max_size=max_size)
+
+
+def _consume(batch):
+    return StreamingAnalysis().consume(batch)
+
+
+class TestMergeLawProperties:
+    """The algebra the sharded map-reduce relies on: merge is an
+    associative, commutative monoid operation whose unit is the empty
+    accumulator, and it agrees with single-pass consumption on every
+    split of a record stream."""
+
+    @settings(max_examples=60)
+    @given(record_batches(), record_batches())
+    def test_merge_is_commutative(self, a, b):
+        assert _consume(a) + _consume(b) == _consume(b) + _consume(a)
+
+    @settings(max_examples=60)
+    @given(record_batches(), record_batches(), record_batches())
+    def test_merge_is_associative(self, a, b, c):
+        left = (_consume(a) + _consume(b)) + _consume(c)
+        right = _consume(a) + (_consume(b) + _consume(c))
+        assert left == right
+
+    @settings(max_examples=60)
+    @given(record_batches())
+    def test_empty_accumulator_is_identity(self, batch):
+        acc = _consume(batch)
+        assert StreamingAnalysis() + acc == acc
+        assert acc + StreamingAnalysis() == acc
+
+    @settings(max_examples=60)
+    @given(record_batches(max_size=40), st.integers(0, 40))
+    def test_merge_agrees_with_single_pass(self, batch, cut):
+        """Splitting a stream at an arbitrary point and merging the
+        halves equals consuming the stream once."""
+        cut = min(cut, len(batch))
+        merged = _consume(batch[:cut]).merge(_consume(batch[cut:]))
+        assert merged == _consume(batch)
+
+    @settings(max_examples=30)
+    @given(st.lists(record_batches(max_size=10), max_size=6))
+    def test_merge_all_equals_concatenation(self, batches):
+        merged = StreamingAnalysis.merge_all(_consume(b) for b in batches)
+        flat = [record for batch in batches for record in batch]
+        assert merged == _consume(flat)
