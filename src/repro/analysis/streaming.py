@@ -16,6 +16,7 @@ Use with the streaming reader::
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -23,6 +24,7 @@ from dataclasses import dataclass
 from repro.analysis.common import percent
 from repro.logmodel.classify import CENSOR_EXCEPTIONS, NO_EXCEPTION
 from repro.logmodel.record import LogRecord
+from repro.metrics import current_registry
 from repro.net.url import registered_domain
 
 
@@ -88,9 +90,23 @@ class StreamingAnalysis:
             self.errors += 1
 
     def consume(self, records: Iterable[LogRecord]) -> "StreamingAnalysis":
-        """Fold a record stream; returns self for chaining."""
+        """Fold a record stream; returns self for chaining.
+
+        When a metrics registry is active, the pass is timed on the
+        monotonic clock and the row count recorded, so merged metrics
+        expose the analysis throughput (rows/sec).
+        """
+        registry = current_registry()
+        if registry is None:
+            for record in records:
+                self.add(record)
+            return self
+        start = time.perf_counter()
+        before = self.total
         for record in records:
             self.add(record)
+        registry.inc("analysis.rows", self.total - before)
+        registry.observe("analysis.consume_seconds", time.perf_counter() - start)
         return self
 
     def breakdown(self) -> StreamingBreakdown:

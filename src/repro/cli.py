@@ -42,6 +42,40 @@ def _positive_int(text: str) -> int:
 _WORKERS_HELP = "worker processes (default 1 = serial; results are " \
                 "identical at every worker count)"
 
+_METRICS_HELP = "write a JSON metrics report (counters, timers, " \
+                "per-shard throughput) to PATH; does not change any " \
+                "other output"
+
+
+def _start_metrics(args: argparse.Namespace):
+    """The (registry, start-time) pair for a command, or (None, None)
+    when --metrics was not given."""
+    if getattr(args, "metrics", None) is None:
+        return None, None
+    import time
+
+    from repro.metrics import MetricsRegistry
+
+    return MetricsRegistry(), time.perf_counter()
+
+
+def _finish_metrics(args, metrics, started) -> None:
+    """Write the --metrics JSON report, stamping command wall time."""
+    if metrics is None:
+        return
+    import time
+
+    from repro.metrics import write_metrics_report
+
+    path = write_metrics_report(
+        args.metrics,
+        metrics,
+        command=args.command,
+        workers=getattr(args, "workers", 1),
+        wall_seconds=time.perf_counter() - started,
+    )
+    print(f"metrics report -> {path}")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -67,6 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="oversample rare traffic components")
     simulate.add_argument("--workers", type=_positive_int, default=1,
                           help=_WORKERS_HELP)
+    simulate.add_argument("--metrics", type=Path, default=None,
+                          help=_METRICS_HELP)
 
     analyze = commands.add_parser(
         "analyze", help="summarize ELFF logs (Tables 3 and 4)"
@@ -79,6 +115,8 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(for logs too large to load)")
     analyze.add_argument("--workers", type=_positive_int, default=1,
                          help=_WORKERS_HELP)
+    analyze.add_argument("--metrics", type=Path, default=None,
+                         help=_METRICS_HELP)
 
     recover = commands.add_parser(
         "recover", help="recover the filtering policy from ELFF logs"
@@ -95,16 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also write the report as a Markdown file")
     report.add_argument("--workers", type=_positive_int, default=1,
                         help=_WORKERS_HELP)
+    report.add_argument("--metrics", type=Path, default=None,
+                        help=_METRICS_HELP)
     return parser
 
 
-def _load_frames(paths: list[Path], workers: int = 1):
+def _load_frames(paths: list[Path], workers: int = 1, metrics=None):
     from repro.engine import load_frames
 
     for path in paths:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
-    return load_frames(paths, workers=workers)
+    return load_frames(paths, workers=workers, metrics=metrics)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -119,12 +159,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     suffix = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"simulating {args.requests:,} requests "
           f"(seed {args.seed}{suffix})...")
-    day_records = simulate_day_records(config, workers=args.workers)
+    metrics, started = _start_metrics(args)
+    day_records = simulate_day_records(
+        config, workers=args.workers, metrics=metrics
+    )
     for path, count in write_logs(
         day_records, args.out,
         per_proxy=args.per_proxy, per_day=args.per_day,
     ):
         print(f"  wrote {count:>8,} records -> {path}")
+    _finish_metrics(args, metrics, started)
     return 0
 
 
@@ -134,7 +178,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     if args.streaming:
         return _analyze_streaming(args)
-    frame = _load_frames(args.logs, workers=args.workers)
+    metrics, started = _start_metrics(args)
+    frame = _load_frames(args.logs, workers=args.workers, metrics=metrics)
     breakdown = traffic_breakdown(frame)
     print(render_table(
         ["Class", "Requests", "%"],
@@ -159,6 +204,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         ],
         title="\nTop domains",
     ))
+    _finish_metrics(args, metrics, started)
     return 0
 
 
@@ -175,7 +221,8 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
     for path in args.logs:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
-    acc, stats = analyze_logs(args.logs, workers=args.workers)
+    metrics, started = _start_metrics(args)
+    acc, stats = analyze_logs(args.logs, workers=args.workers, metrics=metrics)
     breakdown = acc.breakdown()
     print(render_table(
         ["Class", "Requests", "%"],
@@ -195,6 +242,7 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
     if stats.skipped:
         print(f"(skipped {stats.skipped:,} malformed lines; "
               f"first error: {stats.first_error})")
+    _finish_metrics(args, metrics, started)
     return 0
 
 
@@ -245,10 +293,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print(f"simulating {args.requests:,} requests and running the full "
           "pipeline...")
+    metrics, started = _start_metrics(args)
     datasets = build_scenario_sharded(ScenarioConfig(
         total_requests=args.requests, seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS),
-    ), workers=args.workers)
+    ), workers=args.workers, metrics=metrics)
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")
@@ -264,8 +313,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
             report,
             title=f"Censorship report — {args.requests:,} requests, "
                   f"seed {args.seed}",
+            metrics=metrics,
         ))
         print(f"markdown report -> {args.markdown}")
+    _finish_metrics(args, metrics, started)
     return 0
 
 

@@ -14,6 +14,10 @@ proxies — into independent shards:
   writes ELFF output that is byte-identical at every worker count;
 * :mod:`repro.engine.analyze` map-reduces the streaming analysis over
   log files via the accumulators' ``merge``.
+
+Every dispatch point accepts a :class:`repro.metrics.MetricsRegistry`
+(``metrics=...``), which collects per-shard throughput records and the
+hot-path counters without perturbing the simulated output.
 """
 
 from repro.engine.analyze import (

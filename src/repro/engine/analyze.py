@@ -15,8 +15,9 @@ from pathlib import Path
 
 from repro.analysis.streaming import StreamingAnalysis
 from repro.engine.pool import run_sharded
-from repro.frame import LogFrame, concat, frame_from_records
+from repro.frame import LogFrame, concat, empty_frame, frame_from_records
 from repro.logmodel.elff import ReadStats, read_log
+from repro.metrics import MetricsRegistry, current_registry
 
 
 def analyze_shard(path: str) -> tuple[StreamingAnalysis, ReadStats]:
@@ -25,22 +26,31 @@ def analyze_shard(path: str) -> tuple[StreamingAnalysis, ReadStats]:
     analysis = StreamingAnalysis().consume(
         read_log(Path(path), lenient=True, stats=stats)
     )
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("shard.records", stats.records)
     return analysis, stats
 
 
 def analyze_logs(
-    paths: list[Path | str], *, workers: int = 1
+    paths: list[Path | str],
+    *,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[StreamingAnalysis, ReadStats]:
     """Map-reduce the streaming analysis over many log files.
 
     Returns the merged accumulator plus the merged lenient-read
-    bookkeeping (kept/skipped line counts).
+    bookkeeping (kept/skipped line counts).  An empty *paths* list
+    yields empty accumulators.  A *metrics* registry collects per-file
+    throughput plus the reader/consumer hot-path counters.
     """
     parts = run_sharded(
         analyze_shard,
         [str(path) for path in paths],
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],
+        metrics=metrics,
     )
     analysis = StreamingAnalysis()
     stats = ReadStats()
@@ -52,15 +62,31 @@ def analyze_logs(
 
 def load_frame_shard(path: str) -> LogFrame:
     """Load one log file into a columnar frame (strict read)."""
-    return frame_from_records(read_log(Path(path)))
+    frame = frame_from_records(read_log(Path(path)))
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("shard.records", len(frame))
+    return frame
 
 
-def load_frames(paths: list[Path | str], *, workers: int = 1) -> LogFrame:
-    """Parallel counterpart of the CLI's frame loader."""
+def load_frames(
+    paths: list[Path | str],
+    *,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> LogFrame:
+    """Parallel counterpart of the CLI's frame loader.
+
+    An empty *paths* list yields the zero-row frame with the standard
+    columns (it used to raise ``IndexError``).
+    """
     frames = run_sharded(
         load_frame_shard,
         [str(path) for path in paths],
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],
+        metrics=metrics,
     )
+    if not frames:
+        return empty_frame()
     return concat(frames) if len(frames) > 1 else frames[0]

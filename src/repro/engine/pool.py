@@ -22,9 +22,14 @@ matter which worker finished first.
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
-from typing import TypeVar
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.metrics import MetricsRegistry, ShardMetrics, use_registry
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -62,6 +67,77 @@ def _warn_fallback(reason: str) -> None:
     )
 
 
+@dataclass
+class _ShardRun:
+    """What an instrumented shard sends back to the parent."""
+
+    result: Any
+    registry: MetricsRegistry
+    wall_seconds: float
+    worker_pid: int
+
+
+class _Instrumented:
+    """Picklable task wrapper: runs the shard under a fresh registry
+    and returns the result together with the shard's metrics."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task: Callable[[P], R]):
+        self.task = task
+
+    def __call__(self, payload: P) -> _ShardRun:
+        registry = MetricsRegistry()
+        start = time.perf_counter()
+        with use_registry(registry):
+            result = self.task(payload)
+        return _ShardRun(
+            result=result,
+            registry=registry,
+            wall_seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+
+
+def _shard_records(run: _ShardRun) -> int:
+    """How many records the shard produced.
+
+    Instrumented shard functions declare it via the ``shard.records``
+    counter; for uninstrumented tasks a sized result is its own count.
+    """
+    count = run.registry.counters.get("shard.records")
+    if count is not None:
+        return count
+    try:
+        return len(run.result)  # type: ignore[arg-type]
+    except TypeError:
+        return 0
+
+
+def _collect_metrics(
+    metrics: MetricsRegistry, runs: Sequence[_ShardRun], labels: Sequence[str]
+) -> list:
+    """Unwrap instrumented results, folding shard metrics into
+    *metrics* in shard order.
+
+    Called only after dispatch fully succeeded, so shards that ran in a
+    pool that later broke are never folded in — the serial re-run's
+    metrics are the only ones counted (no double counting across the
+    fallback).
+    """
+    results = []
+    for label, run in zip(labels, runs):
+        metrics.merge(run.registry)
+        metrics.add_shard(ShardMetrics(
+            shard_id=label,
+            records=_shard_records(run),
+            wall_seconds=run.wall_seconds,
+            worker_pid=run.worker_pid,
+        ))
+        results.append(run.result)
+    return results
+
+
 def _run_serial(
     task: Callable[[P], R], payloads: Sequence[P], labels: Sequence[str]
 ) -> list[R]:
@@ -80,6 +156,7 @@ def run_sharded(
     *,
     workers: int = 1,
     labels: Sequence[str] | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list[R]:
     """Run *task* over every payload, returning results in input order.
 
@@ -87,6 +164,15 @@ def run_sharded(
     when ``workers > 1`` (the serial path has no such constraint).
     *labels* name the shards in error messages; they default to
     ``shard-<index>``.
+
+    With a *metrics* registry, every shard executes under a fresh
+    worker-local registry (activated via
+    :func:`repro.metrics.use_registry`, so the hot-path hooks record
+    into it); the per-shard registries are merged into *metrics* in
+    shard order after the whole dispatch succeeds, along with one
+    :class:`~repro.metrics.ShardMetrics` per shard.  Merging last means
+    a pool that breaks mid-run and falls back to serial counts each
+    shard exactly once.
     """
     payloads = list(payloads)
     if workers < 1:
@@ -99,6 +185,19 @@ def run_sharded(
             raise ValueError(
                 f"{len(labels)} labels for {len(payloads)} payloads"
             )
+    if metrics is not None:
+        runs = _dispatch(_Instrumented(task), payloads, labels, workers)
+        return _collect_metrics(metrics, runs, labels)
+    return _dispatch(task, payloads, labels, workers)
+
+
+def _dispatch(
+    task: Callable[[P], R],
+    payloads: Sequence[P],
+    labels: Sequence[str],
+    workers: int,
+) -> list[R]:
+    """The execution core: serial loop, pool fan-out, or fallback."""
     effective = min(workers, len(payloads))
     if effective <= 1:
         return _run_serial(task, payloads, labels)

@@ -11,13 +11,19 @@ builds one from :class:`~repro.logmodel.record.LogRecord` batches.
 """
 
 from repro.frame.groupby import GroupBy
-from repro.frame.io import frame_from_records, read_frame_csv, write_frame_csv
+from repro.frame.io import (
+    empty_frame,
+    frame_from_records,
+    read_frame_csv,
+    write_frame_csv,
+)
 from repro.frame.logframe import LogFrame, concat
 
 __all__ = [
     "LogFrame",
     "GroupBy",
     "concat",
+    "empty_frame",
     "frame_from_records",
     "read_frame_csv",
     "write_frame_csv",

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.logmodel.fields import FIELDS
 from repro.logmodel.record import LogRecord
+from repro.metrics import current_registry
 
 _DIRECTIVE_PREFIX = "#"
 
@@ -92,32 +93,43 @@ def read_log(
             yield from read_log(handle, lenient=lenient, stats=stats)
         return
     reader = csv.reader(source)
-    for row in reader:
-        if not row:
-            continue
-        if row[0].startswith(_DIRECTIVE_PREFIX):
-            directive = ",".join(row)
-            if directive.startswith("#Fields:"):
-                declared = directive[len("#Fields:"):].strip().split()
-                if tuple(declared) != FIELDS:
-                    raise LogFormatError(
-                        "log file declares an unexpected field set: "
-                        f"{declared[:3]}..."
-                    )
-            continue
-        try:
-            record = LogRecord.from_row(row)
-        except (ValueError, IndexError) as error:
-            if not lenient:
-                raise LogFormatError(f"malformed row: {error}") from error
+    registry = current_registry()
+    kept = skipped = 0
+    try:
+        for row in reader:
+            if not row:
+                continue
+            if row[0].startswith(_DIRECTIVE_PREFIX):
+                directive = ",".join(row)
+                if directive.startswith("#Fields:"):
+                    declared = directive[len("#Fields:"):].strip().split()
+                    if tuple(declared) != FIELDS:
+                        raise LogFormatError(
+                            "log file declares an unexpected field set: "
+                            f"{declared[:3]}..."
+                        )
+                continue
+            try:
+                record = LogRecord.from_row(row)
+            except (ValueError, IndexError) as error:
+                if not lenient:
+                    raise LogFormatError(f"malformed row: {error}") from error
+                skipped += 1
+                if stats is not None:
+                    stats.skipped += 1
+                    if stats.first_error is None:
+                        stats.first_error = str(error)
+                continue
+            kept += 1
             if stats is not None:
-                stats.skipped += 1
-                if stats.first_error is None:
-                    stats.first_error = str(error)
-            continue
-        if stats is not None:
-            stats.records += 1
-        yield record
+                stats.records += 1
+            yield record
+    finally:
+        # Flushed on exhaustion *and* early close, so partially
+        # consumed streams still report what they actually read.
+        if registry is not None and (kept or skipped):
+            registry.inc("elff.read.records", kept)
+            registry.inc("elff.read.skipped", skipped)
 
 
 def read_log_rows(source: Path | io.TextIOBase) -> Iterator[list[str]]:

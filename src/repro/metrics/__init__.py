@@ -1,0 +1,45 @@
+"""Engine observability: mergeable metrics threaded through the pipeline.
+
+The paper's result is a statistic over 751 M log lines; trusting a
+pipeline at that scale means being able to *see* it run.  This package
+provides the instrumentation layer:
+
+* :class:`MetricsRegistry` — a process-safe, picklable, mergeable bag
+  of counters, gauges, and monotonic-clock timers (the same monoid
+  discipline as the streaming accumulators);
+* :class:`ShardMetrics` — one record per engine shard (records, wall
+  time, throughput, worker pid), collected by ``run_sharded``;
+* :func:`current_registry` / :func:`use_registry` — the activation
+  switch the hot paths check; when no registry is active the hooks cost
+  one branch and nothing is recorded;
+* :mod:`repro.metrics.report` — the ``--metrics PATH`` JSON document
+  and the Markdown summary section.
+"""
+
+from repro.metrics.registry import (
+    MetricsRegistry,
+    ShardMetrics,
+    TimerStats,
+    current_registry,
+    set_registry,
+    use_registry,
+)
+from repro.metrics.report import (
+    METRICS_SCHEMA,
+    metrics_report,
+    metrics_to_markdown,
+    write_metrics_report,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "ShardMetrics",
+    "TimerStats",
+    "current_registry",
+    "metrics_report",
+    "metrics_to_markdown",
+    "set_registry",
+    "use_registry",
+    "write_metrics_report",
+]

@@ -1,0 +1,250 @@
+"""Process-safe metrics primitives: counters, gauges, timers, shards.
+
+The engine parallelizes across processes, so the registry follows the
+same monoid discipline as :class:`~repro.analysis.streaming.
+StreamingAnalysis`: every worker owns a private
+:class:`MetricsRegistry`, and the parent folds them together with
+``merge`` in shard order.  ``merge`` is associative with the empty
+registry as identity (and commutative on counters and timers), which is
+what makes the aggregate counts worker-count-invariant — the property
+tests pin these laws down.
+
+Registries are picklable (the thread lock is dropped and re-created
+across pickling), so a worker's registry can travel back to the parent
+alongside the shard result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardMetrics:
+    """One shard's execution record: what ran, where, and how fast."""
+
+    shard_id: str
+    records: int
+    wall_seconds: float
+    worker_pid: int
+
+    @property
+    def records_per_sec(self) -> float:
+        """Throughput over the shard's wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.records / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "shard_id": self.shard_id,
+            "records": self.records,
+            "wall_seconds": self.wall_seconds,
+            "records_per_sec": self.records_per_sec,
+            "worker_pid": self.worker_pid,
+        }
+
+
+@dataclass
+class TimerStats:
+    """Accumulated monotonic-clock spans for one timer name."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average span length."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def merge(self, other: "TimerStats") -> "TimerStats":
+        """Fold another timer's spans in; returns self."""
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        return self
+
+    def copy(self) -> "TimerStats":
+        return TimerStats(self.count, self.total_seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+class MetricsRegistry:
+    """A mergeable bag of counters, gauges, timers, and shard records.
+
+    * **counters** accumulate integer deltas (``inc``); merging adds.
+    * **gauges** hold the latest value (``set_gauge``); merging is a
+      right-biased union — the merged-in registry wins on shared names.
+    * **timers** accumulate monotonic-clock spans (``timer``/
+      ``observe``); merging adds counts and totals.
+    * **shards** are :class:`ShardMetrics` rows; merging concatenates
+      in merge order.
+
+    Mutation is guarded by a lock so concurrent threads (e.g. a future
+    callback) can record safely; cross-process safety comes from each
+    process owning its registry and the parent merging afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.gauges: dict[str, float] = {}
+        self.timers: dict[str, TimerStats] = {}
+        self.shards: list[ShardMetrics] = []
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name*."""
+        with self._lock:
+            self.counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value* (latest wins)."""
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one span of *seconds* under the timer *name*."""
+        with self._lock:
+            stats = self.timers.get(name)
+            if stats is None:
+                stats = self.timers[name] = TimerStats()
+            stats.count += 1
+            stats.total_seconds += seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a ``with`` block on the monotonic clock."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def add_shard(self, shard: ShardMetrics) -> None:
+        """Append one shard's execution record."""
+        with self._lock:
+            self.shards.append(shard)
+
+    # -- the monoid --------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other* in (counters add, gauges right-bias, timers
+        add, shards concatenate); returns self."""
+        with self._lock:
+            self.counters.update(other.counters)
+            self.gauges.update(other.gauges)
+            for name, stats in other.timers.items():
+                mine = self.timers.get(name)
+                if mine is None:
+                    self.timers[name] = stats.copy()
+                else:
+                    mine.merge(stats)
+            self.shards.extend(other.shards)
+        return self
+
+    def copy(self) -> "MetricsRegistry":
+        """An independent registry with the same state."""
+        return MetricsRegistry().merge(self)
+
+    def __iadd__(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.merge(other)
+
+    def __add__(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Non-mutating merge; ``sum(parts, MetricsRegistry())`` works."""
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.copy().merge(other)
+
+    def _state(self) -> tuple:
+        return (self.counters, self.gauges, self.timers, self.shards)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self._state() == other._state()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, timers={len(self.timers)}, "
+            f"shards={len(self.shards)})"
+        )
+
+    # -- pickling (locks don't pickle) ------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- export ------------------------------------------------------------
+
+    def total_records(self) -> int:
+        """Records processed across all shards."""
+        return sum(shard.records for shard in self.shards)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation, deterministically ordered."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name] for name in sorted(self.gauges)
+            },
+            "timers": {
+                name: self.timers[name].to_dict()
+                for name in sorted(self.timers)
+            },
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+
+#: The process-wide active registry that hot paths report to; ``None``
+#: disables instrumentation (the default — a single predicted branch on
+#: the hot paths).
+_ACTIVE: MetricsRegistry | None = None
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The registry hot paths should report to, or None when disabled."""
+    return _ACTIVE
+
+
+def set_registry(
+    registry: MetricsRegistry | None,
+) -> MetricsRegistry | None:
+    """Install *registry* as the active one; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None):
+    """Activate *registry* for a ``with`` block, restoring the previous
+    active registry on exit (nesting-safe)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

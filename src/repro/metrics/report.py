@@ -1,0 +1,141 @@
+"""Exporting a :class:`~repro.metrics.registry.MetricsRegistry`.
+
+Two consumers: ``--metrics PATH`` writes the JSON document described in
+``docs/CLI.md`` (schema ``repro.metrics/1``), and the Markdown report
+embeds the human-readable summary section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.registry import MetricsRegistry
+
+#: Version tag of the JSON metrics document.
+METRICS_SCHEMA = "repro.metrics/1"
+
+
+def metrics_report(
+    registry: MetricsRegistry,
+    *,
+    command: str | None = None,
+    workers: int | None = None,
+    wall_seconds: float | None = None,
+) -> dict:
+    """Assemble the JSON-ready metrics document."""
+    records = registry.total_records()
+    shard_wall = sum(shard.wall_seconds for shard in registry.shards)
+    totals = {
+        "shards": len(registry.shards),
+        "records": records,
+        "shard_wall_seconds": shard_wall,
+        "records_per_sec": records / shard_wall if shard_wall > 0 else 0.0,
+    }
+    document = {
+        "schema": METRICS_SCHEMA,
+        "command": command,
+        "workers": workers,
+        "wall_seconds": wall_seconds,
+        "totals": totals,
+    }
+    document.update(registry.to_dict())
+    return document
+
+
+def write_metrics_report(
+    destination: Path | str,
+    registry: MetricsRegistry,
+    *,
+    command: str | None = None,
+    workers: int | None = None,
+    wall_seconds: float | None = None,
+) -> Path:
+    """Write the JSON metrics document; returns the path written."""
+    destination = Path(destination)
+    if destination.parent != Path(""):
+        destination.parent.mkdir(parents=True, exist_ok=True)
+    document = metrics_report(
+        registry,
+        command=command,
+        workers=workers,
+        wall_seconds=wall_seconds,
+    )
+    destination.write_text(json.dumps(document, indent=2) + "\n")
+    return destination
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines += [
+        "| " + " | ".join(str(value) for value in row) + " |" for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def metrics_to_markdown(registry: MetricsRegistry) -> str:
+    """The human-readable "Pipeline metrics" section."""
+    records = registry.total_records()
+    shard_wall = sum(shard.wall_seconds for shard in registry.shards)
+    rate = records / shard_wall if shard_wall > 0 else 0.0
+    parts: list[str] = [
+        "## Pipeline metrics",
+        "",
+        f"{len(registry.shards)} shards, {records:,} records, "
+        f"{shard_wall:.2f} s shard wall time ({rate:,.0f} records/s).",
+        "",
+    ]
+    if registry.counters:
+        parts += [
+            "### Counters",
+            "",
+            _md_table(
+                ["Counter", "Value"],
+                [
+                    [name, f"{registry.counters[name]:,}"]
+                    for name in sorted(registry.counters)
+                ],
+            ),
+            "",
+        ]
+    if registry.timers:
+        parts += [
+            "### Timers",
+            "",
+            _md_table(
+                ["Timer", "Spans", "Total (s)", "Mean (s)"],
+                [
+                    [
+                        name,
+                        stats.count,
+                        f"{stats.total_seconds:.3f}",
+                        f"{stats.mean_seconds:.4f}",
+                    ]
+                    for name, stats in sorted(registry.timers.items())
+                ],
+            ),
+            "",
+        ]
+    if registry.shards:
+        parts += [
+            "### Shards",
+            "",
+            _md_table(
+                ["Shard", "Records", "Wall (s)", "Records/s", "Worker PID"],
+                [
+                    [
+                        shard.shard_id,
+                        f"{shard.records:,}",
+                        f"{shard.wall_seconds:.3f}",
+                        f"{shard.records_per_sec:,.0f}",
+                        shard.worker_pid,
+                    ]
+                    for shard in registry.shards
+                ],
+            ),
+            "",
+        ]
+    return "\n".join(parts).rstrip("\n")

@@ -90,18 +90,29 @@ _TWO_PART_SUFFIXES = frozenset(
 )
 
 
-@lru_cache(maxsize=65536)
 def registered_domain(host: str) -> str:
     """Reduce *host* to its registered domain (eTLD+1 heuristic).
+
+    Normalizes first (lowercase, trailing dot stripped) so the spelling
+    variants ``WWW.Facebook.COM``, ``www.facebook.com`` and
+    ``www.facebook.com.`` share one slot in the memo cache below rather
+    than occupying three.
+    """
+    return _registered_domain(host.lower().rstrip("."))
+
+
+@lru_cache(maxsize=65536)
+def _registered_domain(host: str) -> str:
+    """The memoized core; *host* is already normalized.
 
     Memoized: hostnames repeat massively in log traffic, and the
     function sits in the routing and analysis hot paths.
     """
     if not host or host[0].isdigit() and is_ip_like(host):
         return host
-    labels = host.lower().rstrip(".").split(".")
+    labels = host.split(".")
     if len(labels) <= 2:
-        return ".".join(labels)
+        return host
     if ".".join(labels[-2:]) in _TWO_PART_SUFFIXES:
         return ".".join(labels[-3:])
     return ".".join(labels[-2:])

@@ -23,6 +23,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.metrics import current_registry
+
 DEFAULT_CACHE_RATE = 0.0047
 DEFAULT_CLEAR_SHARE = 0.55
 
@@ -60,7 +62,11 @@ class CacheModel:
     def lookup(self, key: str, rng: np.random.Generator) -> bool:
         """Uniform-probability hit; the key is ignored (see
         :class:`LruProxyCache` for the behavioural variant)."""
-        return self.is_cached(rng)
+        cached = self.is_cached(rng)
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("cache.hits" if cached else "cache.misses")
+        return cached
 
 
 #: Content types the "bandwidth gain profile" caches.
@@ -94,6 +100,7 @@ class LruProxyCache:
         self._entries: OrderedDict[str, None] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def cacheable(method: str, content_type: str) -> bool:
@@ -105,14 +112,22 @@ class LruProxyCache:
 
     def lookup(self, key: str, rng: np.random.Generator) -> bool:
         """Query-and-update; returns True on a cache hit."""
+        registry = current_registry()
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if registry is not None:
+                registry.inc("cache.hits")
             return True
         self.misses += 1
+        if registry is not None:
+            registry.inc("cache.misses")
         self._entries[key] = None
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            if registry is not None:
+                registry.inc("cache.evictions")
         return False
 
     def is_cached(self, rng: np.random.Generator) -> bool:

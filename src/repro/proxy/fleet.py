@@ -15,8 +15,10 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.logmodel.classify import NO_EXCEPTION
 from repro.logmodel.fields import PROXY_NAMES
 from repro.logmodel.record import LogRecord
+from repro.metrics import current_registry
 from repro.net.url import registered_domain
 from repro.policy.cache import CacheModel
 from repro.policy.errors import (
@@ -153,8 +155,16 @@ class ProxyFleet:
             # The July 22-23 slice shows a distinct error mix
             # (Table 3's D_user column); use the variant appliance with
             # the user-slice error model.
-            return self._user_slice_proxies[name].process(request, rng)
-        return self.proxies[name].process(request, rng)
+            record = self._user_slice_proxies[name].process(request, rng)
+        else:
+            record = self.proxies[name].process(request, rng)
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("fleet.requests")
+            registry.inc("fleet.verdict." + record.sc_filter_result)
+            if record.x_exception_id != NO_EXCEPTION:
+                registry.inc("fleet.exception." + record.x_exception_id)
+        return record
 
     def process_all(
         self, requests: Iterable[Request], rng: np.random.Generator

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.logmodel.fields import proxy_ip
 from repro.logmodel.record import LogRecord
+from repro.metrics import current_registry
 from repro.policy.cache import CacheModel
 from repro.policy.engine import PolicyEngine
 from repro.policy.errors import ErrorModel
@@ -84,6 +85,9 @@ class SG9000:
 
     def process(self, request: Request, rng: np.random.Generator) -> LogRecord:
         """Filter one request and emit its log record."""
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("proxy.requests." + self.name)
         view = RequestView(
             host=request.host,
             path=request.path,

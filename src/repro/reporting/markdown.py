@@ -24,8 +24,15 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
-def report_to_markdown(report, title: str = "Censorship report") -> str:
-    """Render the full report as Markdown."""
+def report_to_markdown(
+    report, title: str = "Censorship report", metrics=None
+) -> str:
+    """Render the full report as Markdown.
+
+    A :class:`~repro.metrics.MetricsRegistry` collected during the run
+    appends a human-readable "Pipeline metrics" section (shard
+    throughput, hot-path counters, timers).
+    """
     parts: list[str] = [f"# {title}", ""]
 
     full = report.table3["full"]
@@ -137,4 +144,9 @@ def report_to_markdown(report, title: str = "Censorship report") -> str:
             f"over {len(values)} bins.",
             "",
         ]
+
+    if metrics is not None:
+        from repro.metrics import metrics_to_markdown
+
+        parts += [metrics_to_markdown(metrics), ""]
     return "\n".join(parts)

@@ -202,3 +202,33 @@ class TestIO:
         path.write_text("")
         with pytest.raises(ValueError):
             read_frame_csv(path)
+
+    def test_ragged_row_raises_with_file_and_line(self, tmp_path):
+        """Rows with fewer cells than the header used to be silently
+        zip-truncated into misaligned columns."""
+        path = tmp_path / "ragged.csv"
+        path.write_text("epoch,cs_host,sc_status\n"
+                        "1,a.com,200\n"
+                        "2,b.com\n")
+        with pytest.raises(ValueError, match=r"line 3.*expected 3.*got 2"):
+            read_frame_csv(path)
+        assert "ragged.csv" in str(pytest.raises(
+            ValueError, read_frame_csv, path
+        ).value)
+
+    def test_extra_cells_also_raise(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("epoch,cs_host\n1,a.com,extra\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_frame_csv(path)
+
+    def test_non_numeric_cell_raises_with_file_and_line(self, tmp_path):
+        """A non-numeric cell in an int column used to die with a bare
+        numpy ValueError that named neither file nor line."""
+        path = tmp_path / "bad.csv"
+        path.write_text("epoch,cs_host\n"
+                        "100,a.com\n"
+                        "oops,b.com\n"
+                        "300,c.com\n")
+        with pytest.raises(ValueError, match=r"bad\.csv.*line 3.*'epoch'"):
+            read_frame_csv(path)

@@ -1,0 +1,268 @@
+"""Tests for the observability layer (repro.metrics).
+
+The registry is the engine's metrics monoid: the property tests pin
+the merge laws (associativity, identity, commutativity of counters and
+timers, and merge-equals-single-registry), and the unit tests cover the
+recording API, pickling (registries travel from workers to the
+parent), the activation switch, and the JSON/Markdown exports.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    ShardMetrics,
+    TimerStats,
+    current_registry,
+    metrics_report,
+    metrics_to_markdown,
+    set_registry,
+    use_registry,
+    write_metrics_report,
+)
+
+names = st.sampled_from(["a", "b", "c", "fleet.requests", "cache.hits"])
+
+#: Dyadic rationals: float addition over them is exact (no rounding),
+#: so the associativity law can be asserted with == rather than approx.
+exact_seconds = st.integers(0, 102_400).map(lambda n: n / 1024)
+
+
+@st.composite
+def registries(draw) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, amount in draw(
+        st.lists(st.tuples(names, st.integers(1, 1000)), max_size=5)
+    ):
+        registry.inc(name, amount)
+    for name, value in draw(
+        st.lists(st.tuples(names, st.floats(0, 1e6)), max_size=3)
+    ):
+        registry.set_gauge(name, value)
+    for name, seconds in draw(
+        st.lists(st.tuples(names, exact_seconds), max_size=4)
+    ):
+        registry.observe(name, seconds)
+    for index in range(draw(st.integers(0, 3))):
+        registry.add_shard(ShardMetrics(
+            shard_id=f"day:{index}",
+            records=draw(st.integers(0, 1000)),
+            wall_seconds=draw(st.floats(0, 10)),
+            worker_pid=draw(st.integers(1, 99999)),
+        ))
+    return registry
+
+
+# -- recording ---------------------------------------------------------------
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        registry.inc("x", 4)
+        assert registry.counters["x"] == 5
+
+    def test_gauges_keep_latest(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        registry.set_gauge("g", 2.5)
+        assert registry.gauges["g"] == 2.5
+
+    def test_observe_accumulates_spans(self):
+        registry = MetricsRegistry()
+        registry.observe("t", 1.0)
+        registry.observe("t", 3.0)
+        stats = registry.timers["t"]
+        assert stats.count == 2
+        assert stats.total_seconds == pytest.approx(4.0)
+        assert stats.mean_seconds == pytest.approx(2.0)
+
+    def test_timer_context_manager_measures_monotonic_time(self):
+        registry = MetricsRegistry()
+        with registry.timer("span"):
+            pass
+        stats = registry.timers["span"]
+        assert stats.count == 1
+        assert stats.total_seconds >= 0.0
+
+    def test_timer_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("span"):
+                raise RuntimeError("boom")
+        assert registry.timers["span"].count == 1
+
+    def test_empty_timer_mean_is_zero(self):
+        assert TimerStats().mean_seconds == 0.0
+
+    def test_shard_throughput(self):
+        shard = ShardMetrics("day:x", records=500, wall_seconds=2.0,
+                             worker_pid=1)
+        assert shard.records_per_sec == pytest.approx(250.0)
+        assert ShardMetrics("day:y", 10, 0.0, 1).records_per_sec == 0.0
+
+    def test_thread_safe_counters(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counters["n"] == 8000
+
+
+# -- the merge monoid --------------------------------------------------------
+
+class TestMergeLaws:
+    @given(registries(), registries(), registries())
+    def test_associative(self, a, b, c):
+        assert (a.copy() + b) + c == a + (b + c)
+
+    @given(registries())
+    def test_identity(self, a):
+        empty = MetricsRegistry()
+        assert a + empty == a
+        assert empty + a == a
+
+    @given(registries(), registries())
+    def test_counters_and_timers_commute(self, a, b):
+        left, right = a + b, b + a
+        assert left.counters == right.counters
+        assert left.timers == right.timers
+
+    @given(registries(), registries())
+    def test_merge_adds_counters_elementwise(self, a, b):
+        merged = a + b
+        for name in set(a.counters) | set(b.counters):
+            assert merged.counters[name] == (
+                a.counters[name] + b.counters[name]
+            )
+
+    @given(registries(), registries())
+    def test_merge_concatenates_shards(self, a, b):
+        assert (a + b).shards == a.shards + b.shards
+
+    @given(registries())
+    def test_copy_is_independent(self, a):
+        duplicate = a.copy()
+        assert duplicate == a
+        duplicate.inc("poke")
+        assert duplicate != a
+
+    def test_iadd_merges_in_place(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x")
+        b.inc("x", 2)
+        a += b
+        assert a.counters["x"] == 3
+
+    @given(registries())
+    def test_pickle_roundtrip(self, a):
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored == a
+        restored.inc("still.usable")  # the lock was re-created
+        assert restored.counters["still.usable"] == 1
+
+
+# -- the activation switch ---------------------------------------------------
+
+class TestActiveRegistry:
+    def test_disabled_by_default(self):
+        assert current_registry() is None
+
+    def test_use_registry_activates_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry) as active:
+            assert active is registry
+            assert current_registry() is registry
+        assert current_registry() is None
+
+    def test_nesting_restores_the_outer_registry(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                assert current_registry() is inner
+            assert current_registry() is outer
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert current_registry() is None
+
+    def test_set_registry_returns_previous(self):
+        registry = MetricsRegistry()
+        assert set_registry(registry) is None
+        assert set_registry(None) is registry
+
+
+# -- export ------------------------------------------------------------------
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("fleet.requests", 100)
+        registry.set_gauge("load", 0.5)
+        registry.observe("analysis.consume_seconds", 2.0)
+        registry.add_shard(ShardMetrics("day:2011-08-03", 100, 2.0, 77))
+        return registry
+
+    def test_report_document_shape(self):
+        document = metrics_report(
+            self._populated(), command="simulate", workers=4,
+            wall_seconds=3.0,
+        )
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["command"] == "simulate"
+        assert document["workers"] == 4
+        assert document["totals"] == {
+            "shards": 1,
+            "records": 100,
+            "shard_wall_seconds": 2.0,
+            "records_per_sec": 50.0,
+        }
+        assert document["counters"]["fleet.requests"] == 100
+        assert document["timers"]["analysis.consume_seconds"]["count"] == 1
+        assert document["shards"][0]["shard_id"] == "day:2011-08-03"
+
+    def test_report_is_json_serializable_and_ordered(self):
+        registry = self._populated()
+        registry.inc("a.first")
+        text = json.dumps(metrics_report(registry))
+        assert json.loads(text)["counters"] == {
+            "a.first": 1, "fleet.requests": 100,
+        }
+
+    def test_write_metrics_report(self, tmp_path):
+        path = write_metrics_report(
+            tmp_path / "sub" / "metrics.json", self._populated(),
+            command="analyze", workers=2,
+        )
+        document = json.loads(path.read_text())
+        assert document["schema"] == METRICS_SCHEMA
+        assert document["totals"]["records"] == 100
+
+    def test_markdown_section(self):
+        text = metrics_to_markdown(self._populated())
+        assert text.startswith("## Pipeline metrics")
+        assert "fleet.requests" in text
+        assert "day:2011-08-03" in text
+        assert "records/s" in text
+
+    def test_markdown_of_empty_registry(self):
+        text = metrics_to_markdown(MetricsRegistry())
+        assert text.startswith("## Pipeline metrics")
+        assert "0 shards" in text

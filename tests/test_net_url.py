@@ -81,6 +81,20 @@ class TestRegisteredDomain:
     def test_case_insensitive(self):
         assert registered_domain("WWW.Example.COM") == "example.com"
 
+    def test_trailing_dot_is_stripped(self):
+        assert registered_domain("www.facebook.com.") == "facebook.com"
+
+    def test_spelling_variants_share_one_cache_entry(self):
+        """The lru_cache used to key on the raw host, so case and
+        trailing-dot variants each burned their own slot."""
+        from repro.net.url import _registered_domain
+
+        _registered_domain.cache_clear()
+        variants = ["WWW.Facebook.COM", "www.facebook.com",
+                    "www.facebook.com.", "WWW.FACEBOOK.COM."]
+        assert {registered_domain(v) for v in variants} == {"facebook.com"}
+        assert _registered_domain.cache_info().currsize == 1
+
 
 class TestExtension:
     @pytest.mark.parametrize(
