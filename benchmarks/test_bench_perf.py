@@ -169,6 +169,74 @@ def test_perf_sharded_engine_parallel_vs_serial(tmp_path):
         assert simulate_speedup >= 1.5
 
 
+def test_perf_fused_report_vs_two_pass(tmp_path):
+    """Single fused pass vs the legacy write-then-read round trip.
+
+    The fused path streams simulation straight into the analysis
+    accumulator (no record list, no disk); the legacy path materializes
+    the records, serializes them to ELFF, and re-reads them.  Both must
+    produce the identical accumulator and the fused pass must win wall
+    clock; records/sec and peak-RSS growth are reported for both (RSS
+    is advisory — ``ru_maxrss`` is monotonic, so the fused pass runs
+    first to keep its reading honest).
+    """
+    import resource
+
+    from repro.engine import (
+        analyze_logs,
+        scenario_context,
+        simulate_day_records,
+        simulate_into,
+        write_logs,
+    )
+    from repro.pipeline import StreamingAnalysisSink
+    from repro.workload.config import (
+        DEFAULT_BOOSTS,
+        DEFAULT_USER_DAY_BOOST,
+        ScenarioConfig,
+    )
+
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+    config = ScenarioConfig(
+        total_requests=scale,
+        seed=2014,
+        boosts=dict(DEFAULT_BOOSTS),
+        user_day_boost=DEFAULT_USER_DAY_BOOST,
+    )
+    scenario_context(config)  # warm the shared context outside the timers
+
+    def peak_rss_kb():
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    rss_before = peak_rss_kb()
+    start = time.perf_counter()
+    sink, _ = simulate_into(config, StreamingAnalysisSink(), workers=1)
+    fused_seconds = time.perf_counter() - start
+    fused_rss_growth = peak_rss_kb() - rss_before
+
+    rss_before = peak_rss_kb()
+    start = time.perf_counter()
+    day_records = simulate_day_records(config, workers=1)
+    paths = [path for path, _ in write_logs(day_records, tmp_path)]
+    two_pass_analysis, _ = analyze_logs(paths, workers=1)
+    two_pass_seconds = time.perf_counter() - start
+    two_pass_rss_growth = peak_rss_kb() - rss_before
+
+    assert sink.analysis == two_pass_analysis
+    total = sink.analysis.total
+    print(
+        f"\nreport @ {total:,} records: "
+        f"fused {fused_seconds:.2f}s "
+        f"({total / fused_seconds:,.0f} rec/s, "
+        f"peak-RSS growth {fused_rss_growth / 1024:.0f} MB) vs "
+        f"two-pass {two_pass_seconds:.2f}s "
+        f"({total / two_pass_seconds:,.0f} rec/s, "
+        f"peak-RSS growth {two_pass_rss_growth / 1024:.0f} MB) — "
+        f"{two_pass_seconds / fused_seconds:.2f}x"
+    )
+    assert fused_seconds < two_pass_seconds
+
+
 def test_perf_elff_roundtrip(benchmark):
     records = [
         make_record(cs_host=f"host{i % 50}.com", epoch=1312329600 + i)

@@ -99,6 +99,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="split files further by log day")
     simulate.add_argument("--boosts", action="store_true",
                           help="oversample rare traffic components")
+    simulate.add_argument("--compress", action="store_true",
+                          help="write gzip-compressed logs (.log.gz); "
+                               "analyze/recover read them transparently")
     simulate.add_argument("--workers", type=_positive_int, default=1,
                           help=_WORKERS_HELP)
     simulate.add_argument("--metrics", type=Path, default=None,
@@ -148,7 +151,7 @@ def _load_frames(paths: list[Path], workers: int = 1, metrics=None):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.engine import simulate_day_records, write_logs
+    from repro.engine import simulate_to_logs
     from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
 
     config = ScenarioConfig(
@@ -160,12 +163,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"simulating {args.requests:,} requests "
           f"(seed {args.seed}{suffix})...")
     metrics, started = _start_metrics(args)
-    day_records = simulate_day_records(
-        config, workers=args.workers, metrics=metrics
-    )
-    for path, count in write_logs(
-        day_records, args.out,
+    for path, count in simulate_to_logs(
+        config, args.out,
         per_proxy=args.per_proxy, per_day=args.per_day,
+        compress=args.compress, workers=args.workers, metrics=metrics,
     ):
         print(f"  wrote {count:>8,} records -> {path}")
     _finish_metrics(args, metrics, started)

@@ -1,4 +1,10 @@
-"""End-to-end scenario build: traffic → policy → fleet → datasets."""
+"""End-to-end scenario build: traffic → policy → fleet → datasets.
+
+The serial builders here run on the same fused Source → Stage → Sink
+pipeline as the sharded engine: records stream generator → fleet →
+anonymizer straight into columnar buffers, so a scenario build never
+materializes its record list.
+"""
 
 from __future__ import annotations
 
@@ -9,8 +15,14 @@ import numpy as np
 from repro.catalog.categories import Category
 from repro.categorizer import TrustedSourceCategorizer
 from repro.frame import LogFrame, frame_from_records
-from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
 from repro.logmodel.record import LogRecord
+from repro.pipeline import (
+    AnonymizeStage,
+    FleetStage,
+    FrameSink,
+    Pipeline,
+    RecordsSource,
+)
 from repro.policy.syria import SyrianPolicy, build_syrian_policy
 from repro.proxy import ProxyFleet
 from repro.timeline import USER_SLICE_DAYS, day_span
@@ -62,15 +74,14 @@ def _build_categorizer(generator: TrafficGenerator) -> TrustedSourceCategorizer:
 def anonymize_records(
     records: list[LogRecord], user_spans: list[tuple[int, int]]
 ) -> None:
-    """Apply the Telecomix release treatment to client addresses."""
+    """Apply the Telecomix release treatment to client addresses.
+
+    Batch form of :class:`~repro.pipeline.stages.AnonymizeStage`, kept
+    for callers that already hold a record list.
+    """
+    stage = AnonymizeStage(user_spans)
     for record in records:
-        in_user_slice = any(
-            start <= record.epoch < end for start, end in user_spans
-        )
-        if in_user_slice:
-            record.c_ip = hash_client_ip(record.c_ip)
-        else:
-            record.c_ip = zero_client_ip(record.c_ip)
+        stage.anonymize(record)
 
 
 def assemble_datasets(
@@ -84,11 +95,32 @@ def assemble_datasets(
 ) -> ScenarioDatasets:
     """Assemble the four analysis datasets from simulated records.
 
-    Shared tail of every scenario build (serial, custom-policy, and
-    the sharded engine): frame conversion, the D_sample draw from
-    *rng*, and the D_user/D_denied masks.
+    List-taking wrapper over :func:`assemble_datasets_from_frame`, for
+    callers that already materialized their records.
     """
-    full = frame_from_records(records)
+    return assemble_datasets_from_frame(
+        frame_from_records(records), records_by_day, config, generator,
+        policy, rng, sample_fraction,
+    )
+
+
+def assemble_datasets_from_frame(
+    full: LogFrame,
+    records_by_day: dict[str, int],
+    config: ScenarioConfig,
+    generator: TrafficGenerator,
+    policy: SyrianPolicy,
+    rng: np.random.Generator,
+    sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
+) -> ScenarioDatasets:
+    """Assemble the four analysis datasets from the D_full frame.
+
+    Shared tail of every scenario build (serial, custom-policy, and
+    the sharded engine): the D_sample draw from *rng* and the
+    D_user/D_denied masks.  Taking the frame (rather than records)
+    keeps fused builds single-pass — a :class:`~repro.pipeline.sinks.
+    FrameSink` feeds straight in.
+    """
     sample = full.sample(sample_fraction, rng)
     user_spans = [day_span(day) for day in USER_SLICE_DAYS]
     user_mask = np.zeros(len(full), dtype=bool)
@@ -107,6 +139,29 @@ def assemble_datasets(
         sample_fraction=sample_fraction,
         records_by_day=records_by_day,
     )
+
+
+def simulate_scenario_frame(
+    generator: TrafficGenerator,
+    fleet: ProxyFleet,
+    rng: np.random.Generator,
+) -> tuple[LogFrame, dict[str, int]]:
+    """One fused pass over every log-day of the serial stream layout.
+
+    Records flow generator → fleet → anonymizer → columnar buffers
+    without a record list ever existing; *rng* is shared across days
+    (the legacy single-stream layout, unlike the engine's per-day
+    shard streams).  Returns the D_full frame and the per-day counts.
+    """
+    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
+    stages = (FleetStage(fleet, rng), AnonymizeStage(user_spans))
+    sink = FrameSink()
+    records_by_day: dict[str, int] = {}
+    for day, requests in generator.generate():
+        before = len(sink)
+        Pipeline(RecordsSource(requests), stages).run(sink)
+        records_by_day[day] = len(sink) - before
+    return sink.frame(), records_by_day
 
 
 def build_scenario(
@@ -128,16 +183,8 @@ def build_scenario(
     fleet = ProxyFleet(policy)
 
     rng = np.random.default_rng(config.seed + 1000)
-    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
-    all_records: list[LogRecord] = []
-    records_by_day: dict[str, int] = {}
-    for day, requests in generator.generate():
-        day_records = [fleet.process(request, rng) for request in requests]
-        anonymize_records(day_records, user_spans)
-        records_by_day[day] = len(day_records)
-        all_records.extend(day_records)
-
-    return assemble_datasets(
-        all_records, records_by_day, config, generator, policy, rng,
+    full, records_by_day = simulate_scenario_frame(generator, fleet, rng)
+    return assemble_datasets_from_frame(
+        full, records_by_day, config, generator, policy, rng,
         sample_fraction,
     )

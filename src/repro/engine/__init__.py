@@ -38,9 +38,13 @@ from repro.engine.shards import (
 )
 from repro.engine.simulate import (
     build_scenario_sharded,
+    day_pipeline,
     scenario_context,
     simulate_day_records,
+    simulate_into,
     simulate_shard,
+    simulate_sink_shard,
+    simulate_to_logs,
     write_logs,
 )
 
@@ -53,11 +57,15 @@ __all__ = [
     "analyze_shard",
     "build_scenario_sharded",
     "child_seed",
+    "day_pipeline",
     "load_frames",
     "plan_shards",
     "run_sharded",
     "scenario_context",
     "simulate_day_records",
+    "simulate_into",
     "simulate_shard",
+    "simulate_sink_shard",
+    "simulate_to_logs",
     "write_logs",
 ]

@@ -1,12 +1,13 @@
 """Sharded log analysis — the reduce side of the engine.
 
-One log file is one shard.  Workers stream-read with the lenient ELFF
-reader and fold into :class:`~repro.analysis.streaming.
-StreamingAnalysis` accumulators; the parent merges the per-file
-accumulators in input order.  Because ``merge`` is associative and
-agrees with single-pass consumption (the merge-law property tests),
-the reduced result is identical to a serial read of the same files at
-every worker count.
+One log file is one shard, run as one fused pipeline pass:
+``ElffSource → <sink>``.  Workers stream-read with the lenient ELFF
+reader (gzip-transparent for ``.log.gz`` inputs) and fold into
+:class:`~repro.analysis.streaming.StreamingAnalysis` accumulators; the
+parent merges the per-file accumulators in input order.  Because
+``merge`` is associative and agrees with single-pass consumption (the
+merge-law property tests), the reduced result is identical to a serial
+read of the same files at every worker count.
 """
 
 from __future__ import annotations
@@ -15,21 +16,27 @@ from pathlib import Path
 
 from repro.analysis.streaming import StreamingAnalysis
 from repro.engine.pool import run_sharded
-from repro.frame import LogFrame, concat, empty_frame, frame_from_records
-from repro.logmodel.elff import ReadStats, read_log
+from repro.frame import LogFrame, concat, empty_frame
+from repro.logmodel.elff import ReadStats
 from repro.metrics import MetricsRegistry, current_registry
+from repro.pipeline import (
+    ElffSource,
+    FrameSink,
+    Pipeline,
+    StreamingAnalysisSink,
+)
 
 
 def analyze_shard(path: str) -> tuple[StreamingAnalysis, ReadStats]:
     """Stream one log file into a fresh accumulator."""
     stats = ReadStats()
-    analysis = StreamingAnalysis().consume(
-        read_log(Path(path), lenient=True, stats=stats)
+    sink = Pipeline(ElffSource(path, lenient=True, stats=stats)).run(
+        StreamingAnalysisSink()
     )
     registry = current_registry()
     if registry is not None:
         registry.inc("shard.records", stats.records)
-    return analysis, stats
+    return sink.analysis, stats
 
 
 def analyze_logs(
@@ -62,7 +69,7 @@ def analyze_logs(
 
 def load_frame_shard(path: str) -> LogFrame:
     """Load one log file into a columnar frame (strict read)."""
-    frame = frame_from_records(read_log(Path(path)))
+    frame = Pipeline(ElffSource(path)).run(FrameSink()).frame()
     registry = current_registry()
     if registry is not None:
         registry.inc("shard.records", len(frame))

@@ -1,20 +1,28 @@
 """Sharded scenario simulation — the map side of the engine.
 
-Each shard generates, filters, and anonymizes one log-day.  A worker
+Each shard is one fused pipeline pass over one log-day:
+``DayTrafficSource → FleetStage → AnonymizeStage → <sink>``.  A worker
 rebuilds the scenario context (generator + policy + fleet)
 deterministically from the config — ground truth is a pure function of
 the seed, so every process sees the same universe — and caches it per
 process, so a nine-shard run costs one construction per worker, not
 one per shard.
 
-Two consumers sit on top:
+The sink is the caller's choice: :func:`simulate_into` runs the day
+pipelines into fresh copies of any mergeable
+:class:`~repro.pipeline.Sink` and reduces them in day order, which is
+how every consumer fuses onto one traversal:
 
-* :func:`simulate_day_records` / :func:`write_logs` back the CLI's
-  ``simulate --workers N`` and produce byte-identical ELFF output for
-  every worker count;
-* :func:`build_scenario_sharded` assembles a full
-  :class:`~repro.datasets.ScenarioDatasets` (the ``report`` pipeline)
-  from the merged day shards.
+* :func:`simulate_to_logs` (the CLI's ``simulate``) streams each day
+  straight into grouped ELFF buffers — generation, filtering, and
+  serialization in a single pass, optionally gzip-compressed;
+* :func:`build_scenario_sharded` (the ``report`` pipeline) folds each
+  day straight into columnar frame buffers, so the full record list is
+  never materialized;
+* :func:`simulate_day_records` / :func:`write_logs` keep the legacy
+  list-shaped API on the same pipeline core.
+
+Output is byte-identical at every worker count for all of them.
 """
 
 from __future__ import annotations
@@ -28,17 +36,25 @@ import numpy as np
 from repro.datasets import ScenarioDatasets
 from repro.datasets.builder import (
     DEFAULT_SAMPLE_FRACTION,
-    anonymize_records,
-    assemble_datasets,
+    assemble_datasets_from_frame,
 )
 from repro.engine.pool import run_sharded
 from repro.engine.shards import child_seed, plan_shards
-from repro.logmodel.elff import write_log
-from repro.metrics import MetricsRegistry, current_registry
 from repro.logmodel.record import LogRecord
+from repro.metrics import MetricsRegistry, current_registry
+from repro.pipeline import (
+    AnonymizeStage,
+    DayTrafficSource,
+    FleetStage,
+    FrameSink,
+    GroupedElffSink,
+    Pipeline,
+    RecordListSink,
+    Sink,
+)
 from repro.policy.syria import SyrianPolicy, build_syrian_policy
 from repro.proxy import ProxyFleet
-from repro.timeline import USER_SLICE_DAYS, day_span, epoch_day
+from repro.timeline import USER_SLICE_DAYS, day_span
 from repro.workload import TrafficGenerator
 from repro.workload.config import ScenarioConfig
 
@@ -79,26 +95,79 @@ def scenario_context(config: ScenarioConfig) -> SimContext:
     return context
 
 
-def simulate_shard(
-    payload: tuple[ScenarioConfig, str, np.random.SeedSequence],
-) -> list[LogRecord]:
-    """Generate, filter, and anonymize one log-day.
+def day_pipeline(
+    config: ScenarioConfig, day: str, seed: np.random.SeedSequence
+) -> Pipeline:
+    """The fused pipeline for one log-day shard.
 
     The shard seed spawns two independent streams — request generation
     and fleet processing (routing, errors, cache) — via stateless child
     derivation, so re-running a shard always replays the same day.
     """
-    config, day, seed = payload
     context = scenario_context(config)
-    generation_rng = np.random.default_rng(child_seed(seed, 0))
-    fleet_rng = np.random.default_rng(child_seed(seed, 1))
-    requests = context.generator.generate_day(day, generation_rng)
-    records = [context.fleet.process(request, fleet_rng) for request in requests]
-    anonymize_records(records, context.user_spans)
+    return Pipeline(
+        DayTrafficSource(
+            context.generator, day, np.random.default_rng(child_seed(seed, 0))
+        ),
+        (
+            FleetStage(
+                context.fleet, np.random.default_rng(child_seed(seed, 1))
+            ),
+            AnonymizeStage(context.user_spans),
+        ),
+    )
+
+
+def simulate_sink_shard(
+    payload: tuple[ScenarioConfig, str, np.random.SeedSequence, Sink],
+) -> Sink:
+    """Run one log-day pipeline into a fresh copy of the payload sink."""
+    config, day, seed, prototype = payload
+    sink = day_pipeline(config, day, seed).run(prototype.fresh())
     registry = current_registry()
     if registry is not None:
-        registry.inc("shard.records", len(records))
-    return records
+        registry.inc("shard.records", len(sink))
+    return sink
+
+
+def simulate_shard(
+    payload: tuple[ScenarioConfig, str, np.random.SeedSequence],
+) -> list[LogRecord]:
+    """Generate, filter, and anonymize one log-day as a record list."""
+    config, day, seed = payload
+    return simulate_sink_shard((config, day, seed, RecordListSink())).records
+
+
+def simulate_into(
+    config: ScenarioConfig,
+    sink: Sink,
+    *,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[Sink, dict[str, int]]:
+    """Run every day shard into fresh copies of *sink* and reduce.
+
+    Each shard folds its day's stream into ``sink.fresh()``; the parent
+    merges the per-shard sinks into *sink* in ``config.days`` order
+    regardless of worker count or completion order (the sinks' merge
+    laws make that equal to one serial pass).  Returns the merged sink
+    and the per-day record counts.  A *metrics* registry collects
+    per-shard throughput and the hot-path counters without touching the
+    random streams — output is byte-identical with and without it.
+    """
+    plan = plan_shards(config)
+    parts = run_sharded(
+        simulate_sink_shard,
+        [(config, shard.day, shard.seed, sink) for shard in plan.shards],
+        workers=workers,
+        labels=[shard.shard_id for shard in plan.shards],
+        metrics=metrics,
+    )
+    records_by_day: dict[str, int] = {}
+    for shard, part in zip(plan.shards, parts):
+        records_by_day[shard.day] = len(part)
+        sink.merge(part)
+    return sink, records_by_day
 
 
 def simulate_day_records(
@@ -110,10 +179,7 @@ def simulate_day_records(
     """Simulate every configured log-day, in day order.
 
     The returned mapping iterates in ``config.days`` order regardless
-    of worker count or completion order.  A *metrics* registry collects
-    per-shard throughput and the hot-path counters (verdicts,
-    exceptions, cache activity) without touching the random streams —
-    output is byte-identical with and without it.
+    of worker count or completion order.
     """
     plan = plan_shards(config)
     results = run_sharded(
@@ -126,6 +192,31 @@ def simulate_day_records(
     return {shard.day: records for shard, records in zip(plan.shards, results)}
 
 
+def simulate_to_logs(
+    config: ScenarioConfig,
+    out_dir: Path | str,
+    *,
+    per_proxy: bool = False,
+    per_day: bool = False,
+    compress: bool = False,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> list[tuple[Path, int]]:
+    """Simulate and write ELFF logs in one fused pass per shard.
+
+    Every record is serialized the moment the fleet emits it — no
+    intermediate record list — and the per-shard buffers merge in day
+    order, so output bytes are identical to the legacy
+    simulate-then-:func:`write_logs` two-step at every worker count.
+    ``compress=True`` writes deterministic ``.log.gz`` files.
+    """
+    sink = GroupedElffSink(
+        per_proxy=per_proxy, per_day=per_day, compress=compress
+    )
+    merged, _ = simulate_into(config, sink, workers=workers, metrics=metrics)
+    return merged.write_dir(Path(out_dir))
+
+
 def build_scenario_sharded(
     config: ScenarioConfig | None = None,
     *,
@@ -135,6 +226,9 @@ def build_scenario_sharded(
 ) -> ScenarioDatasets:
     """Sharded counterpart of :func:`repro.datasets.build_scenario`.
 
+    Fused: each day shard folds straight into columnar frame buffers
+    (:class:`~repro.pipeline.FrameSink`), so the full record list is
+    never materialized — memory is the frame plus one in-flight shard.
     Deterministic for a given config at every worker count (the D_sample
     draw uses the plan's dedicated sampling seed).  The random streams
     are sharded per day, so the numbers differ from the serial
@@ -144,12 +238,9 @@ def build_scenario_sharded(
     """
     config = config or ScenarioConfig()
     plan = plan_shards(config)
-    day_records = simulate_day_records(config, workers=workers, metrics=metrics)
-    all_records: list[LogRecord] = []
-    records_by_day: dict[str, int] = {}
-    for day, records in day_records.items():
-        records_by_day[day] = len(records)
-        all_records.extend(records)
+    sink, records_by_day = simulate_into(
+        config, FrameSink(), workers=workers, metrics=metrics
+    )
     context = scenario_context(config)
     rng = np.random.default_rng(plan.sampling_seed)
     assemble_timer = (
@@ -158,8 +249,8 @@ def build_scenario_sharded(
         else nullcontext()
     )
     with assemble_timer:
-        return assemble_datasets(
-            all_records, records_by_day, config, context.generator,
+        return assemble_datasets_from_frame(
+            sink.frame(), records_by_day, config, context.generator,
             context.policy, rng, sample_fraction,
         )
 
@@ -170,32 +261,20 @@ def write_logs(
     *,
     per_proxy: bool = False,
     per_day: bool = False,
+    compress: bool = False,
 ) -> list[tuple[Path, int]]:
     """Write simulated days as ELFF files; returns ``(path, count)``s.
 
-    Grouping mirrors the leak's file structure: combined
-    ``proxies.log`` by default, ``sg-NN[_day].log`` with the flags.
-    Records are written in day order within each file, so output bytes
-    depend only on the day shards, never on worker scheduling.
+    List-taking wrapper over :class:`~repro.pipeline.GroupedElffSink`
+    (the fused path is :func:`simulate_to_logs`).  Grouping mirrors the
+    leak's file structure: combined ``proxies.log`` by default,
+    ``sg-NN[_day].log`` with the flags.  Records are written in day
+    order within each file, so output bytes depend only on the day
+    shards, never on worker scheduling.
     """
-    out_dir = Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    if not (per_proxy or per_day):
-        records = [
-            record for records in day_records.values() for record in records
-        ]
-        path = out_dir / "proxies.log"
-        return [(path, write_log(records, path))]
-    grouped: dict[str, list[LogRecord]] = {}
+    sink = GroupedElffSink(
+        per_proxy=per_proxy, per_day=per_day, compress=compress
+    )
     for records in day_records.values():
-        for record in records:
-            parts = []
-            if per_proxy:
-                parts.append(f"sg-{record.s_ip.rsplit('.', 1)[-1]}")
-            if per_day:
-                parts.append(epoch_day(record.epoch))
-            grouped.setdefault("_".join(parts), []).append(record)
-    return [
-        (out_dir / f"{stem}.log", write_log(group, out_dir / f"{stem}.log"))
-        for stem, group in sorted(grouped.items())
-    ]
+        sink.consume(records)
+    return sink.write_dir(Path(out_dir))

@@ -35,32 +35,34 @@ FRAME_COLUMNS: dict[str, str] = {
 }
 
 
-def frame_from_records(records: Iterable[LogRecord]) -> LogFrame:
-    """Build a :class:`LogFrame` from an iterable of log records.
+def new_record_buffers() -> dict[str, list]:
+    """Fresh per-column append buffers for the standard frame columns."""
+    return {name: [] for name in FRAME_COLUMNS}
 
-    String values are interned: log columns are highly repetitive
-    (a handful of exception ids, proxies, hosts), so interning collapses
-    memory to one object per distinct value.
-    """
-    buffers: dict[str, list] = {name: [] for name in FRAME_COLUMNS}
+
+def append_record(buffers: dict[str, list], record: LogRecord) -> None:
+    """Fold one record into column *buffers* (strings interned)."""
     intern = sys.intern
-    for record in records:
-        buffers["epoch"].append(record.epoch)
-        buffers["c_ip"].append(intern(record.c_ip))
-        buffers["s_ip"].append(intern(record.s_ip))
-        buffers["cs_host"].append(intern(record.cs_host))
-        buffers["cs_uri_scheme"].append(intern(record.cs_uri_scheme))
-        buffers["cs_uri_port"].append(record.cs_uri_port)
-        buffers["cs_uri_path"].append(intern(record.cs_uri_path))
-        buffers["cs_uri_query"].append(intern(record.cs_uri_query))
-        buffers["cs_uri_ext"].append(intern(record.cs_uri_ext))
-        buffers["cs_method"].append(intern(record.cs_method))
-        buffers["cs_user_agent"].append(intern(record.cs_user_agent))
-        buffers["sc_filter_result"].append(intern(record.sc_filter_result))
-        buffers["x_exception_id"].append(intern(record.x_exception_id))
-        buffers["cs_categories"].append(intern(record.cs_categories))
-        buffers["sc_status"].append(record.sc_status)
-        buffers["s_action"].append(intern(record.s_action))
+    buffers["epoch"].append(record.epoch)
+    buffers["c_ip"].append(intern(record.c_ip))
+    buffers["s_ip"].append(intern(record.s_ip))
+    buffers["cs_host"].append(intern(record.cs_host))
+    buffers["cs_uri_scheme"].append(intern(record.cs_uri_scheme))
+    buffers["cs_uri_port"].append(record.cs_uri_port)
+    buffers["cs_uri_path"].append(intern(record.cs_uri_path))
+    buffers["cs_uri_query"].append(intern(record.cs_uri_query))
+    buffers["cs_uri_ext"].append(intern(record.cs_uri_ext))
+    buffers["cs_method"].append(intern(record.cs_method))
+    buffers["cs_user_agent"].append(intern(record.cs_user_agent))
+    buffers["sc_filter_result"].append(intern(record.sc_filter_result))
+    buffers["x_exception_id"].append(intern(record.x_exception_id))
+    buffers["cs_categories"].append(intern(record.cs_categories))
+    buffers["sc_status"].append(record.sc_status)
+    buffers["s_action"].append(intern(record.s_action))
+
+
+def buffers_to_frame(buffers: dict[str, list]) -> LogFrame:
+    """Materialize append buffers into a :class:`LogFrame`."""
     if not buffers["epoch"]:
         return empty_frame()
     return LogFrame(
@@ -69,6 +71,19 @@ def frame_from_records(records: Iterable[LogRecord]) -> LogFrame:
             for name, values in buffers.items()
         }
     )
+
+
+def frame_from_records(records: Iterable[LogRecord]) -> LogFrame:
+    """Build a :class:`LogFrame` from an iterable of log records.
+
+    String values are interned: log columns are highly repetitive
+    (a handful of exception ids, proxies, hosts), so interning collapses
+    memory to one object per distinct value.
+    """
+    buffers = new_record_buffers()
+    for record in records:
+        append_record(buffers, record)
+    return buffers_to_frame(buffers)
 
 
 def empty_frame() -> LogFrame:

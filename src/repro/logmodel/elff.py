@@ -5,11 +5,17 @@ The Telecomix release is CSV with W3C/ELFF-style directive lines
 round-trips :class:`~repro.logmodel.record.LogRecord` objects through
 that format, streaming in both directions so multi-gigabyte files never
 have to fit in memory.
+
+Paths ending in ``.gz`` are read and written through gzip
+transparently.  Written gzip streams are deterministic (no embedded
+filename, mtime pinned to zero), so compressed output stays
+byte-identical across runs, directories, and worker counts.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import io
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -21,23 +27,87 @@ from repro.metrics import current_registry
 
 _DIRECTIVE_PREFIX = "#"
 
+DEFAULT_SOFTWARE = "SGOS 5.3.3.8"
+
+
+def elff_header(software: str = DEFAULT_SOFTWARE) -> str:
+    """The directive preamble every ELFF log file starts with."""
+    return (
+        f"#Software: {software}\n"
+        "#Version: 1.0\n"
+        f"#Fields: {' '.join(FIELDS)}\n"
+    )
+
+
+def is_gzip_path(path: Path | str) -> bool:
+    """Whether *path* names a gzip-compressed log (``.gz`` suffix)."""
+    return str(path).endswith(".gz")
+
+
+class _GzipTextWriter:
+    """Text writer over a deterministic gzip stream.
+
+    ``gzip.open`` embeds the file's basename and mtime in the header;
+    this writer pins both (no name, mtime 0) so compressed logs are
+    byte-identical whenever the uncompressed bytes are.  Closing closes
+    the whole layer stack, including the raw file.
+    """
+
+    def __init__(self, path: Path | str):
+        self._raw = open(path, "wb")
+        self._gzip = gzip.GzipFile(
+            filename="", mode="wb", fileobj=self._raw, mtime=0
+        )
+        self._text = io.TextIOWrapper(
+            self._gzip, encoding="utf-8", newline=""
+        )
+
+    def write(self, text: str) -> int:
+        return self._text.write(text)
+
+    def flush(self) -> None:
+        self._text.flush()
+
+    def close(self) -> None:
+        self._text.close()  # flushes and closes the gzip layer
+        if not self._raw.closed:
+            self._raw.close()
+
+    def __enter__(self) -> "_GzipTextWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_log_writer(path: Path | str):
+    """Open *path* for ELFF text writing (gzip-transparent)."""
+    if is_gzip_path(path):
+        return _GzipTextWriter(path)
+    return open(path, "w", newline="")
+
+
+def open_log_reader(path: Path | str):
+    """Open *path* for ELFF text reading (gzip-transparent)."""
+    if is_gzip_path(path):
+        return gzip.open(path, "rt", encoding="utf-8", newline="")
+    return open(path, newline="")
+
 
 def write_log(
     records: Iterable[LogRecord],
     destination: Path | io.TextIOBase,
-    software: str = "SGOS 5.3.3.8",
+    software: str = DEFAULT_SOFTWARE,
 ) -> int:
     """Write *records* as an ELFF/CSV log file.
 
     Returns the number of records written.  *destination* may be a path
-    or an open text file.
+    (``.gz`` compresses transparently) or an open text file.
     """
     if isinstance(destination, (str, Path)):
-        with open(destination, "w", newline="") as handle:
+        with open_log_writer(destination) as handle:
             return write_log(records, handle, software=software)
-    destination.write(f"#Software: {software}\n")
-    destination.write("#Version: 1.0\n")
-    destination.write(f"#Fields: {' '.join(FIELDS)}\n")
+    destination.write(elff_header(software))
     writer = csv.writer(destination)
     count = 0
     for record in records:
@@ -89,7 +159,7 @@ def read_log(
     and, when a :class:`ReadStats` is passed, counted there.
     """
     if isinstance(source, (str, Path)):
-        with open(source, newline="") as handle:
+        with open_log_reader(source) as handle:
             yield from read_log(handle, lenient=lenient, stats=stats)
         return
     reader = csv.reader(source)
@@ -139,7 +209,7 @@ def read_log_rows(source: Path | io.TextIOBase) -> Iterator[list[str]]:
     does not need per-row ``LogRecord`` objects.
     """
     if isinstance(source, (str, Path)):
-        with open(source, newline="") as handle:
+        with open_log_reader(source) as handle:
             yield from read_log_rows(handle)
         return
     for row in csv.reader(source):

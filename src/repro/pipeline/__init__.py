@@ -1,0 +1,58 @@
+"""Composable Source → Stage → Sink record-stream pipelines.
+
+This package is the architectural seam between producing records
+(simulated traffic, ELFF files) and consuming them (analysis
+accumulators, columnar frames, ELFF writers).  Everything flows in
+one fused pass with sink-bounded memory:
+
+* **Sources** (:mod:`~repro.pipeline.sources`) yield items:
+  :class:`DayTrafficSource` wraps a traffic generator's log-day,
+  :class:`ElffSource` the strict/lenient log readers,
+  :class:`RecordsSource` any in-memory iterable.
+* **Stages** (:mod:`~repro.pipeline.stages`) transform lazily:
+  :class:`FleetStage` runs the proxy-fleet verdict pass,
+  :class:`AnonymizeStage` the Telecomix address treatment.
+* **Sinks** (:mod:`~repro.pipeline.sinks`) fold and merge:
+  :class:`ElffSink`/:class:`GroupedElffSink` (byte-identical to
+  ``write_log``, gzip-transparent), :class:`StreamingAnalysisSink`,
+  :class:`FrameSink`, the fan-out :class:`TeeSink`, plus
+  :class:`RecordListSink` and :class:`CountSink`.
+
+Sinks form the same merge monoid as the engine's accumulators
+(``fresh`` identity, associative ``merge``, merge-equals-single-pass),
+so ``run_sharded`` reduces them exactly like ``StreamingAnalysis`` —
+that is what lets ``simulate``, ``analyze``, and ``report`` all ride
+one traversal per shard.
+"""
+
+from repro.pipeline.core import Pipeline, Sink, Source, Stage
+from repro.pipeline.sinks import (
+    CountSink,
+    ElffSink,
+    FrameSink,
+    GroupedElffSink,
+    RecordListSink,
+    StreamingAnalysisSink,
+    TeeSink,
+)
+from repro.pipeline.sources import DayTrafficSource, ElffSource, RecordsSource
+from repro.pipeline.stages import AnonymizeStage, FleetStage
+
+__all__ = [
+    "AnonymizeStage",
+    "CountSink",
+    "DayTrafficSource",
+    "ElffSink",
+    "ElffSource",
+    "FleetStage",
+    "FrameSink",
+    "GroupedElffSink",
+    "Pipeline",
+    "RecordListSink",
+    "RecordsSource",
+    "Sink",
+    "Source",
+    "Stage",
+    "StreamingAnalysisSink",
+    "TeeSink",
+]

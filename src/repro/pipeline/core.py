@@ -1,0 +1,124 @@
+"""The Source → Stage → Sink contracts and the fused traversal.
+
+A pipeline is one pass over a record stream: a :class:`Source` yields
+items, each :class:`Stage` transforms the stream lazily, and a
+:class:`Sink` folds the items into its accumulated state.  Nothing in
+the pipeline materializes the stream — memory is whatever the sink
+keeps, which is what lets ``report`` run a full scenario without ever
+holding the record list and what the paper's 600 GB single-pass
+constraint demands.
+
+Sinks are *mergeable*: ``fresh()`` is the identity element, ``merge``
+is associative, and folding a stream split across fresh sinks then
+merging in split order equals folding the whole stream into one sink.
+Those are exactly the laws the sharded engine's reduce relies on
+(property-tested in ``tests/test_pipeline.py``), so any sink can ride
+``run_sharded`` the way :class:`~repro.analysis.streaming.
+StreamingAnalysis` always has.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+
+class Source:
+    """A replayable-or-not stream of items; anything iterable works.
+
+    Subclasses implement ``__iter__``.  Plain iterables can be wrapped
+    with :class:`~repro.pipeline.sources.RecordsSource`, but the
+    pipeline duck-types: ``Pipeline`` accepts any iterable.
+    """
+
+    def __iter__(self) -> Iterator:
+        raise NotImplementedError
+
+
+class Stage:
+    """A lazy stream transformer: iterator in, iterator out.
+
+    Subclasses implement :meth:`process` as a generator.  Stages must
+    preserve stream order (the engine's byte-identity guarantees fold
+    in shard order) and may be stateful only in ways that do not depend
+    on how the stream is chunked.
+    """
+
+    def process(self, stream: Iterator) -> Iterator:
+        raise NotImplementedError
+
+    def __call__(self, stream: Iterable) -> Iterator:
+        return self.process(iter(stream))
+
+
+class Sink:
+    """A mergeable stream consumer.
+
+    Subclasses implement :meth:`add` (fold one item), :meth:`fresh`
+    (an empty sink with the same configuration — the merge identity),
+    :meth:`merge` (fold another sink's state in, returning self), and
+    ``__len__`` (items consumed, which the engine uses for per-shard
+    throughput and ``records_by_day``).
+    """
+
+    def add(self, item: Any) -> None:
+        raise NotImplementedError
+
+    def consume(self, stream: Iterable) -> "Sink":
+        """Fold every item of *stream*; returns self for chaining."""
+        for item in stream:
+            self.add(item)
+        return self
+
+    def fresh(self) -> "Sink":
+        """An empty sink configured like this one (the merge identity)."""
+        raise NotImplementedError
+
+    def merge(self, other: "Sink") -> "Sink":
+        """Fold *other*'s accumulated state in; returns self."""
+        raise NotImplementedError
+
+    def copy(self) -> "Sink":
+        """An independent sink with the same state."""
+        return self.fresh().merge(self)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iadd__(self, other: "Sink") -> "Sink":
+        if not isinstance(other, Sink):
+            return NotImplemented
+        return self.merge(other)
+
+    def __add__(self, other: "Sink") -> "Sink":
+        """Non-mutating merge; ``sum(parts, sink.fresh())`` works."""
+        if not isinstance(other, Sink):
+            return NotImplemented
+        return self.copy().merge(other)
+
+
+class Pipeline:
+    """A source with an ordered chain of stages, run into a sink.
+
+    Iterating a pipeline yields the fully transformed stream;
+    :meth:`run` folds it into a sink in one pass.  Pipelines are cheap
+    descriptions — nothing executes until iteration.
+    """
+
+    def __init__(self, source: Iterable, stages: Iterable[Stage] = ()):
+        self.source = source
+        self.stages = tuple(stages)
+
+    def through(self, stage: Stage) -> "Pipeline":
+        """A new pipeline with *stage* appended."""
+        return Pipeline(self.source, self.stages + (stage,))
+
+    def __iter__(self) -> Iterator:
+        stream: Iterator = iter(self.source)
+        for stage in self.stages:
+            stream = stage(stream)
+        return stream
+
+    def run(self, sink: Sink) -> Sink:
+        """One fused pass: fold the transformed stream into *sink*."""
+        return sink.consume(iter(self))

@@ -1,0 +1,56 @@
+"""Stream stages: the proxy-fleet verdict pass and anonymization."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
+from repro.logmodel.record import LogRecord
+from repro.pipeline.core import Stage
+
+
+class FleetStage(Stage):
+    """Map requests to log records through a proxy fleet.
+
+    Consumes the fleet's *rng* one request at a time in stream order —
+    exactly the draws the batch loop ``[fleet.process(r, rng) for r in
+    requests]`` makes, so fusing changes no output byte.
+    """
+
+    def __init__(self, fleet, rng: np.random.Generator):
+        self.fleet = fleet
+        self.rng = rng
+
+    def process(self, stream: Iterator) -> Iterator[LogRecord]:
+        fleet, rng = self.fleet, self.rng
+        for request in stream:
+            yield fleet.process(request, rng)
+
+
+class AnonymizeStage(Stage):
+    """Apply the Telecomix release treatment to client addresses.
+
+    Records with an epoch inside a user slice get keyed hashes, all
+    others zeroed addresses.  Draws no randomness, so it can interleave
+    with the fleet stage without perturbing any stream.
+    """
+
+    def __init__(self, user_spans: list[tuple[int, int]]):
+        self.user_spans = list(user_spans)
+
+    def anonymize(self, record: LogRecord) -> LogRecord:
+        """Anonymize one record in place; returns it."""
+        in_user_slice = any(
+            start <= record.epoch < end for start, end in self.user_spans
+        )
+        if in_user_slice:
+            record.c_ip = hash_client_ip(record.c_ip)
+        else:
+            record.c_ip = zero_client_ip(record.c_ip)
+        return record
+
+    def process(self, stream: Iterator) -> Iterator[LogRecord]:
+        for record in stream:
+            yield self.anonymize(record)

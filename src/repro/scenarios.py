@@ -19,13 +19,16 @@ import numpy as np
 from repro.catalog.categories import Category
 from repro.categorizer import TrustedSourceCategorizer
 from repro.datasets import ScenarioDatasets
-from repro.datasets.builder import anonymize_records, assemble_datasets
+from repro.datasets.builder import (
+    assemble_datasets_from_frame,
+    simulate_scenario_frame,
+)
 from repro.policy.engine import PolicyEngine
 from repro.policy.extensions import CategoryRule, TimeOfDayRule
 from repro.policy.rules import TorBlockSchedule, TorOnionRule
 from repro.policy.syria import SyrianPolicy, build_syrian_policy
 from repro.proxy import ProxyFleet
-from repro.timeline import USER_SLICE_DAYS, day_epoch, day_span
+from repro.timeline import day_epoch
 from repro.workload import ScenarioConfig, TrafficGenerator
 
 PolicyTransform = Callable[[SyrianPolicy, TrafficGenerator], SyrianPolicy]
@@ -53,17 +56,9 @@ def build_custom_scenario(
     fleet = ProxyFleet(policy)
 
     rng = np.random.default_rng(config.seed + 1000)
-    user_spans = [day_span(day) for day in USER_SLICE_DAYS]
-    records = []
-    records_by_day = {}
-    for day, requests in generator.generate():
-        day_records = [fleet.process(request, rng) for request in requests]
-        anonymize_records(day_records, user_spans)
-        records_by_day[day] = len(day_records)
-        records.extend(day_records)
-
-    return assemble_datasets(
-        records, records_by_day, config, generator, policy, rng,
+    full, records_by_day = simulate_scenario_frame(generator, fleet, rng)
+    return assemble_datasets_from_frame(
+        full, records_by_day, config, generator, policy, rng,
         sample_fraction,
     )
 

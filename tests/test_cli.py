@@ -178,6 +178,95 @@ class TestWorkers:
         assert "top censored" in output
 
 
+class TestCompress:
+    """The --compress flag: gzip output that every reader accepts."""
+
+    def test_writes_gz_with_identical_content(self, tmp_path):
+        for name, extra in (("plain", []), ("gz", ["--compress"])):
+            code = main([
+                "simulate", "--requests", "1500", "--seed", "2",
+                "--out", str(tmp_path / name), *extra,
+            ])
+            assert code == 0
+        gz_path = tmp_path / "gz" / "proxies.log.gz"
+        assert gz_path.exists()
+        import gzip
+
+        assert gzip.decompress(gz_path.read_bytes()) == (
+            tmp_path / "plain" / "proxies.log"
+        ).read_bytes()
+
+    def test_analyze_reads_gz_transparently(self, tmp_path, capsys):
+        assert main([
+            "simulate", "--requests", "1500", "--seed", "2",
+            "--out", str(tmp_path), "--compress",
+        ]) == 0
+        outputs = []
+        for mode in ([], ["--streaming"]):
+            assert main([
+                "analyze", *mode, str(tmp_path / "proxies.log.gz"),
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert all("Traffic breakdown" in out for out in outputs)
+
+    def test_gz_analysis_matches_plain(self, tmp_path, capsys):
+        for name, extra in (("plain", []), ("gz", ["--compress"])):
+            assert main([
+                "simulate", "--requests", "1500", "--seed", "2",
+                "--out", str(tmp_path / name), *extra,
+            ]) == 0
+        capsys.readouterr()
+        outputs = []
+        for log in ("plain/proxies.log", "gz/proxies.log.gz"):
+            assert main(["analyze", "--streaming", str(tmp_path / log)]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+
+class TestMainModule:
+    """``python -m repro`` must behave exactly like the console script."""
+
+    @staticmethod
+    def _run(*argv):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_version(self):
+        from repro.version import __version__
+
+        result = self._run("--version")
+        assert result.returncode == 0
+        assert result.stdout.strip() == __version__
+
+    def test_simulate_round_trip(self, tmp_path):
+        result = self._run(
+            "simulate", "--requests", "600", "--seed", "7",
+            "--out", str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "wrote" in result.stdout
+        assert (tmp_path / "proxies.log").exists()
+
+    def test_no_command_exits_with_usage(self):
+        result = self._run()
+        assert result.returncode == 2
+        assert "usage:" in result.stderr
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -25,8 +25,11 @@ from repro.engine import (
     plan_shards,
     run_sharded,
     simulate_day_records,
+    simulate_into,
+    simulate_to_logs,
     write_logs,
 )
+from repro.pipeline import StreamingAnalysisSink
 from repro.engine import pool as pool_module
 from repro.engine import simulate as simulate_module
 from repro.logmodel.elff import write_log
@@ -203,6 +206,66 @@ class TestSimulationDeterminism:
         serial_bytes = (serial_dir / "proxies.log").read_bytes()
         parallel_bytes = (parallel_dir / "proxies.log").read_bytes()
         assert serial_bytes == parallel_bytes
+
+    def test_fused_simulate_to_logs_matches_legacy_two_step(self, tmp_path):
+        """The fused pass (records never materialized) must write the
+        exact bytes of simulate-then-write_logs, in every grouping, at
+        every worker count."""
+        day_records = simulate_day_records(TINY, workers=1)
+        legacy_dir = tmp_path / "legacy"
+        write_logs(day_records, legacy_dir, per_proxy=True, per_day=True)
+        for workers in (1, 3):
+            fused_dir = tmp_path / f"fused-{workers}"
+            written = simulate_to_logs(
+                TINY, fused_dir, per_proxy=True, per_day=True,
+                workers=workers,
+            )
+            assert sorted(path.name for path, _ in written) == sorted(
+                path.name for path in legacy_dir.iterdir()
+            )
+            for path, _ in written:
+                assert path.read_bytes() == (
+                    legacy_dir / path.name
+                ).read_bytes(), path.name
+
+    def test_fused_combined_output_matches_legacy(self, tmp_path):
+        day_records = simulate_day_records(TINY, workers=1)
+        write_logs(day_records, tmp_path / "legacy")
+        simulate_to_logs(TINY, tmp_path / "fused", workers=2)
+        assert (tmp_path / "fused" / "proxies.log").read_bytes() == (
+            tmp_path / "legacy" / "proxies.log"
+        ).read_bytes()
+
+    def test_compressed_logs_identical_across_worker_counts(self, tmp_path):
+        import gzip
+
+        for workers in (1, 3):
+            simulate_to_logs(
+                TINY, tmp_path / str(workers), compress=True, workers=workers
+            )
+        serial = (tmp_path / "1" / "proxies.log.gz").read_bytes()
+        parallel = (tmp_path / "3" / "proxies.log.gz").read_bytes()
+        assert serial == parallel
+        # and the payload is the plain-file bytes
+        simulate_to_logs(TINY, tmp_path / "plain", workers=1)
+        assert gzip.decompress(serial) == (
+            tmp_path / "plain" / "proxies.log"
+        ).read_bytes()
+
+    def test_simulate_into_streaming_matches_record_pass(self):
+        """Fusing the analysis onto simulation (the single-pass report
+        path) equals analyzing the materialized records."""
+        reference = StreamingAnalysis().consume(
+            record
+            for records in simulate_day_records(TINY, workers=1).values()
+            for record in records
+        )
+        for workers in (1, 2):
+            sink, by_day = simulate_into(
+                TINY, StreamingAnalysisSink(), workers=workers
+            )
+            assert sink.analysis == reference
+            assert sum(by_day.values()) == reference.total
 
     def test_write_logs_grouping_matches_leak_structure(self, tmp_path):
         day_records = simulate_day_records(TINY, workers=1)
