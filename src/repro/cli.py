@@ -39,12 +39,64 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for flags that must be >= 0 (--max-shard-retries)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 _WORKERS_HELP = "worker processes (default 1 = serial; results are " \
                 "identical at every worker count)"
 
 _METRICS_HELP = "write a JSON metrics report (counters, timers, " \
                 "per-shard throughput) to PATH; does not change any " \
                 "other output"
+
+_RETRIES_HELP = "re-run a failed shard up to N times with capped " \
+                "exponential backoff before giving up (default: " \
+                "REPRO_MAX_SHARD_RETRIES or 2; retried shards replay " \
+                "identical streams, so output is unchanged)"
+
+_PARTIAL_HELP = "quarantine shards that still fail after retries and " \
+                "finish with the surviving shards instead of aborting " \
+                "(quarantined shards are listed on stdout and in the " \
+                "--metrics report)"
+
+
+def _add_resilience_flags(command) -> None:
+    """The shared --max-shard-retries / --allow-partial surface."""
+    command.add_argument("--max-shard-retries", type=_nonnegative_int,
+                         default=None, metavar="N", help=_RETRIES_HELP)
+    command.add_argument("--allow-partial", action="store_true",
+                         help=_PARTIAL_HELP)
+
+
+def _fault_args(args: argparse.Namespace):
+    """The (retry, allow_partial, failures) triple for a command."""
+    from dataclasses import replace
+
+    from repro.engine import RetryPolicy
+    from repro.faults import ShardFailureReport
+
+    retry = None
+    if getattr(args, "max_shard_retries", None) is not None:
+        retry = replace(RetryPolicy.from_env(),
+                        max_retries=args.max_shard_retries)
+    allow_partial = bool(getattr(args, "allow_partial", False))
+    return retry, allow_partial, ShardFailureReport()
+
+
+def _report_quarantine(failures) -> None:
+    """Print one line per quarantined shard (partial-results mode)."""
+    for failure in failures:
+        print(f"  quarantined {failure.shard_id} "
+              f"after {failure.attempts} attempts "
+              f"[{failure.site}]: {failure.error}")
 
 
 def _start_metrics(args: argparse.Namespace):
@@ -106,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=_WORKERS_HELP)
     simulate.add_argument("--metrics", type=Path, default=None,
                           help=_METRICS_HELP)
+    _add_resilience_flags(simulate)
 
     analyze = commands.add_parser(
         "analyze", help="summarize ELFF logs (Tables 3 and 4)"
@@ -120,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=_WORKERS_HELP)
     analyze.add_argument("--metrics", type=Path, default=None,
                          help=_METRICS_HELP)
+    _add_resilience_flags(analyze)
 
     recover = commands.add_parser(
         "recover", help="recover the filtering policy from ELFF logs"
@@ -138,16 +192,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=_WORKERS_HELP)
     report.add_argument("--metrics", type=Path, default=None,
                         help=_METRICS_HELP)
+    _add_resilience_flags(report)
     return parser
 
 
-def _load_frames(paths: list[Path], workers: int = 1, metrics=None):
+def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
+                 retry=None, allow_partial=False, failures=None):
     from repro.engine import load_frames
 
     for path in paths:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
-    return load_frames(paths, workers=workers, metrics=metrics)
+    return load_frames(paths, workers=workers, metrics=metrics,
+                       retry=retry, allow_partial=allow_partial,
+                       failures=failures)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -163,12 +221,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"simulating {args.requests:,} requests "
           f"(seed {args.seed}{suffix})...")
     metrics, started = _start_metrics(args)
+    retry, allow_partial, failures = _fault_args(args)
     for path, count in simulate_to_logs(
         config, args.out,
         per_proxy=args.per_proxy, per_day=args.per_day,
         compress=args.compress, workers=args.workers, metrics=metrics,
+        retry=retry, allow_partial=allow_partial, failures=failures,
     ):
         print(f"  wrote {count:>8,} records -> {path}")
+    _report_quarantine(failures)
     _finish_metrics(args, metrics, started)
     return 0
 
@@ -180,7 +241,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.streaming:
         return _analyze_streaming(args)
     metrics, started = _start_metrics(args)
-    frame = _load_frames(args.logs, workers=args.workers, metrics=metrics)
+    retry, allow_partial, failures = _fault_args(args)
+    frame = _load_frames(args.logs, workers=args.workers, metrics=metrics,
+                         retry=retry, allow_partial=allow_partial,
+                         failures=failures)
     breakdown = traffic_breakdown(frame)
     print(render_table(
         ["Class", "Requests", "%"],
@@ -205,6 +269,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         ],
         title="\nTop domains",
     ))
+    _report_quarantine(failures)
     _finish_metrics(args, metrics, started)
     return 0
 
@@ -223,7 +288,11 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
     metrics, started = _start_metrics(args)
-    acc, stats = analyze_logs(args.logs, workers=args.workers, metrics=metrics)
+    retry, allow_partial, failures = _fault_args(args)
+    acc, stats = analyze_logs(args.logs, workers=args.workers,
+                              metrics=metrics, retry=retry,
+                              allow_partial=allow_partial,
+                              failures=failures)
     breakdown = acc.breakdown()
     print(render_table(
         ["Class", "Requests", "%"],
@@ -240,9 +309,11 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
         [[domain, count] for domain, count in acc.top_censored(args.top)],
         title="\nTop censored domains",
     ))
-    if stats.skipped:
-        print(f"(skipped {stats.skipped:,} malformed lines; "
+    if stats.skipped or stats.corrupted:
+        print(f"(skipped {stats.skipped:,} malformed lines, "
+              f"{stats.corrupted:,} corrupted streams; "
               f"first error: {stats.first_error})")
+    _report_quarantine(failures)
     _finish_metrics(args, metrics, started)
     return 0
 
@@ -295,10 +366,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"simulating {args.requests:,} requests and running the full "
           "pipeline...")
     metrics, started = _start_metrics(args)
+    retry, allow_partial, failures = _fault_args(args)
     datasets = build_scenario_sharded(ScenarioConfig(
         total_requests=args.requests, seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS),
-    ), workers=args.workers, metrics=metrics)
+    ), workers=args.workers, metrics=metrics, retry=retry,
+        allow_partial=allow_partial, failures=failures)
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")
@@ -306,6 +379,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print("recovered keywords:",
           [k.keyword for k in report.recovered_keywords])
     print("suspected domains:", len(report.table8))
+    _report_quarantine(failures)
     if args.markdown is not None:
         from repro.reporting.markdown import report_to_markdown
 

@@ -9,7 +9,12 @@ proxies — into independent shards:
   seed with ``SeedSequence.spawn`` (worker-count-invariant);
 * :mod:`repro.engine.pool` fans shards over a process pool, with a
   zero-dependency serial path at ``workers=1``, shard-labelled error
-  propagation, and graceful degradation to serial when no pool can run;
+  propagation, graceful degradation to serial when no pool can run,
+  per-shard retry with capped exponential backoff
+  (:class:`RetryPolicy`), per-shard timeouts, and a ``strict=False``
+  partial-results mode that quarantines shards which exhaust their
+  retry budget into :class:`~repro.faults.ShardFailure` records
+  instead of aborting the run;
 * :mod:`repro.engine.simulate` maps shards to simulated log-days and
   writes ELFF output that is byte-identical at every worker count;
 * :mod:`repro.engine.analyze` map-reduces the streaming analysis over
@@ -17,7 +22,10 @@ proxies — into independent shards:
 
 Every dispatch point accepts a :class:`repro.metrics.MetricsRegistry`
 (``metrics=...``), which collects per-shard throughput records and the
-hot-path counters without perturbing the simulated output.
+hot-path counters without perturbing the simulated output, plus a
+:class:`repro.faults.FaultPlan` (``fault_plan=...``, or the
+``REPRO_FAULT_PLAN`` environment knob) for deterministic chaos
+testing of all of the above.
 """
 
 from repro.engine.analyze import (
@@ -26,8 +34,11 @@ from repro.engine.analyze import (
     load_frames,
 )
 from repro.engine.pool import (
+    QUARANTINED,
     EngineFallbackWarning,
+    RetryPolicy,
     ShardError,
+    ShardTimeout,
     run_sharded,
 )
 from repro.engine.shards import (
@@ -50,8 +61,11 @@ from repro.engine.simulate import (
 
 __all__ = [
     "EngineFallbackWarning",
+    "QUARANTINED",
+    "RetryPolicy",
     "ShardError",
     "ShardPlan",
+    "ShardTimeout",
     "SimShard",
     "analyze_logs",
     "analyze_shard",

@@ -15,7 +15,8 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.analysis.streaming import StreamingAnalysis
-from repro.engine.pool import run_sharded
+from repro.engine.pool import RetryPolicy, run_sharded
+from repro.faults import FaultPlan, ShardFailureReport
 from repro.frame import LogFrame, concat, empty_frame
 from repro.logmodel.elff import ReadStats
 from repro.metrics import MetricsRegistry, current_registry
@@ -44,6 +45,10 @@ def analyze_logs(
     *,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[StreamingAnalysis, ReadStats]:
     """Map-reduce the streaming analysis over many log files.
 
@@ -51,6 +56,10 @@ def analyze_logs(
     bookkeeping (kept/skipped line counts).  An empty *paths* list
     yields empty accumulators.  A *metrics* registry collects per-file
     throughput plus the reader/consumer hot-path counters.
+
+    With ``allow_partial=True`` a file shard that fails every retry is
+    quarantined (reported via *failures*/*metrics*) and the merged
+    accumulator equals a fault-free run over the surviving files.
     """
     parts = run_sharded(
         analyze_shard,
@@ -58,10 +67,17 @@ def analyze_logs(
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],
         metrics=metrics,
+        retry=retry,
+        strict=not allow_partial,
+        failures=failures,
+        fault_plan=fault_plan,
     )
     analysis = StreamingAnalysis()
     stats = ReadStats()
-    for part_analysis, part_stats in parts:
+    for part in parts:
+        if part is None:  # quarantined file
+            continue
+        part_analysis, part_stats = part
         analysis += part_analysis
         stats += part_stats
     return analysis, stats
@@ -81,11 +97,16 @@ def load_frames(
     *,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> LogFrame:
     """Parallel counterpart of the CLI's frame loader.
 
     An empty *paths* list yields the zero-row frame with the standard
-    columns (it used to raise ``IndexError``).
+    columns (it used to raise ``IndexError``); in partial mode the
+    frame is the concatenation of the surviving files only.
     """
     frames = run_sharded(
         load_frame_shard,
@@ -93,7 +114,12 @@ def load_frames(
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],
         metrics=metrics,
+        retry=retry,
+        strict=not allow_partial,
+        failures=failures,
+        fault_plan=fault_plan,
     )
+    frames = [frame for frame in frames if frame is not None]
     if not frames:
         return empty_frame()
     return concat(frames) if len(frames) > 1 else frames[0]

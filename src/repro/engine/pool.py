@@ -1,4 +1,4 @@
-"""Process-pool execution with shard-aware error handling.
+"""Process-pool execution with shard-aware error handling and retry.
 
 The engine's unit of parallelism is a *shard*: a self-contained piece
 of work (one log-day to simulate, one log file to analyze) whose result
@@ -12,8 +12,21 @@ single dispatch point:
   the OS, a sandbox that forbids semaphores) degrades gracefully to the
   serial loop with an :class:`EngineFallbackWarning`, so parallelism is
   an optimization, never a new failure mode;
-* an ordinary exception raised *inside* a worker is re-raised in the
-  parent wrapped in :class:`ShardError`, which names the failing shard.
+* a shard that raises is **retried** with capped exponential backoff
+  (:class:`RetryPolicy`) — because every shard replays a deterministic
+  stream, a retried shard produces the exact bytes the first attempt
+  would have, so transient failures are invisible in the output;
+* a shard that still fails after its retry budget either aborts the
+  run wrapped in :class:`ShardError` (``strict=True``, the default) or
+  is **quarantined** into a
+  :class:`~repro.faults.ShardFailure` record while the survivors
+  complete (``strict=False``, partial-results mode).
+
+Every shard attempt executes under the active
+:class:`~repro.faults.FaultPlan` (explicit ``fault_plan=`` argument or
+the ``REPRO_FAULT_PLAN`` environment knob), which is how the chaos
+suite injects crashes, transient exceptions, corrupt reads, and slow
+shards through the same code paths production runs use.
 
 Results are always returned in shard order, which is what makes the
 parallel paths bit-reproducible: callers merge in a fixed order no
@@ -29,10 +42,21 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
+from repro.faults import (
+    FaultPlan,
+    ShardFailure,
+    ShardFailureReport,
+    fault_point,
+    plan_from_env,
+    use_fault_plan,
+)
 from repro.metrics import MetricsRegistry, ShardMetrics, use_registry
 
 P = TypeVar("P")
 R = TypeVar("R")
+
+#: What a quarantined shard leaves in the results list (partial mode).
+QUARANTINED = None
 
 
 class EngineFallbackWarning(RuntimeWarning):
@@ -42,13 +66,75 @@ class EngineFallbackWarning(RuntimeWarning):
 class ShardError(RuntimeError):
     """A worker failed while processing one shard.
 
-    Carries the shard's label in :attr:`shard_id`; the original
-    exception is chained as ``__cause__``.
+    Carries the shard's label in :attr:`shard_id` and the underlying
+    exception in :attr:`error`.  The exception that triggered this
+    raise is chained as ``__cause__`` — usually the same object as
+    :attr:`error`, except on the pool-fallback path, where ``error``
+    is the *original* pool-run exception and ``__cause__`` the serial
+    re-run's failure.
     """
 
     def __init__(self, shard_id: str, error: BaseException):
         super().__init__(f"shard {shard_id!r} failed: {error!r}")
         self.shard_id = shard_id
+        self.error = error
+
+
+class ShardTimeout(RuntimeError):
+    """A shard exceeded the per-shard timeout (pool execution only)."""
+
+    #: Site label used in quarantine reports.
+    site = "timeout"
+
+    def __init__(self, shard_id: str, seconds: float):
+        super().__init__(
+            f"shard {shard_id!r} timed out after {seconds:g}s"
+        )
+        self.shard_id = shard_id
+        self.seconds = seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard retry budget, backoff shape, and timeout.
+
+    ``max_retries`` counts *re*-executions: a shard runs at most
+    ``max_retries + 1`` times.  Backoff is capped exponential —
+    ``min(backoff_cap, backoff_base * 2**attempt)`` — with no jitter,
+    because the engine's reproducibility contract extends to its
+    failure handling.  ``timeout`` bounds one attempt's wall time on
+    the pool path (a timed-out attempt counts as a failure and is
+    retried); the serial path cannot interrupt a running shard, so
+    timeouts only apply when ``workers > 1``.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    timeout: float | None = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """How long to wait before re-running attempt ``attempt + 1``."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """The default policy, honouring ``REPRO_MAX_SHARD_RETRIES``
+        and ``REPRO_SHARD_TIMEOUT``."""
+        retries_text = os.environ.get("REPRO_MAX_SHARD_RETRIES")
+        timeout_text = os.environ.get("REPRO_SHARD_TIMEOUT")
+        return cls(
+            max_retries=int(retries_text) if retries_text else 2,
+            timeout=float(timeout_text) if timeout_text else None,
+        )
 
 
 def _make_executor(workers: int):
@@ -65,6 +151,26 @@ def _warn_fallback(reason: str) -> None:
         EngineFallbackWarning,
         stacklevel=3,
     )
+
+
+def _run_attempt(
+    task: Callable[[P], R],
+    payload: P,
+    label: str,
+    attempt: int,
+    plan: FaultPlan | None,
+) -> R:
+    """Execute one attempt of one shard under the fault-plan context.
+
+    Module-level and picklable — this is the callable the pool actually
+    submits, so injected faults fire inside the worker exactly where
+    real failures would.
+    """
+    if plan is None:
+        return task(payload)
+    with use_fault_plan(plan, shard_id=label, attempt=attempt):
+        fault_point("shard.start")
+        return task(payload)
 
 
 @dataclass
@@ -115,7 +221,7 @@ def _shard_records(run: _ShardRun) -> int:
 
 
 def _collect_metrics(
-    metrics: MetricsRegistry, runs: Sequence[_ShardRun], labels: Sequence[str]
+    metrics: MetricsRegistry, runs: Sequence[Any], labels: Sequence[str]
 ) -> list:
     """Unwrap instrumented results, folding shard metrics into
     *metrics* in shard order.
@@ -123,10 +229,14 @@ def _collect_metrics(
     Called only after dispatch fully succeeded, so shards that ran in a
     pool that later broke are never folded in — the serial re-run's
     metrics are the only ones counted (no double counting across the
-    fallback).
+    fallback).  Quarantined shards contribute no metrics and stay
+    ``QUARANTINED`` in the result list.
     """
     results = []
     for label, run in zip(labels, runs):
+        if run is QUARANTINED:
+            results.append(QUARANTINED)
+            continue
         metrics.merge(run.registry)
         metrics.add_shard(ShardMetrics(
             shard_id=label,
@@ -138,16 +248,33 @@ def _collect_metrics(
     return results
 
 
-def _run_serial(
-    task: Callable[[P], R], payloads: Sequence[P], labels: Sequence[str]
-) -> list[R]:
-    results = []
-    for label, payload in zip(labels, payloads):
-        try:
-            results.append(task(payload))
-        except Exception as error:
-            raise ShardError(label, error) from error
-    return results
+def _note_retry(metrics: MetricsRegistry | None) -> None:
+    if metrics is not None:
+        metrics.inc("engine.shard_retries")
+
+
+def _settle_failure(
+    label: str,
+    error: BaseException,
+    attempts: int,
+    strict: bool,
+    failures: ShardFailureReport | None,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """A shard exhausted its retry budget: abort or quarantine."""
+    if strict:
+        raise ShardError(label, error) from error
+    failure = ShardFailure(
+        shard_id=label,
+        site=getattr(error, "site", "task"),
+        attempts=attempts,
+        error=repr(error),
+    )
+    if failures is not None:
+        failures.add(failure)
+    if metrics is not None:
+        metrics.add_failure(failure)
+        metrics.inc("engine.shards.quarantined")
 
 
 def run_sharded(
@@ -157,6 +284,10 @@ def run_sharded(
     workers: int = 1,
     labels: Sequence[str] | None = None,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    strict: bool = True,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[R]:
     """Run *task* over every payload, returning results in input order.
 
@@ -165,6 +296,20 @@ def run_sharded(
     *labels* name the shards in error messages; they default to
     ``shard-<index>``.
 
+    *retry* governs per-shard re-execution (default:
+    :meth:`RetryPolicy.from_env`).  With ``strict=True`` a shard that
+    fails every attempt aborts the run in :class:`ShardError`; with
+    ``strict=False`` it is quarantined — its slot in the returned list
+    is :data:`QUARANTINED` (``None``), a
+    :class:`~repro.faults.ShardFailure` is appended to *failures* (when
+    given) and recorded into *metrics*, and the surviving shards
+    complete normally.
+
+    *fault_plan* injects deterministic faults into every attempt (the
+    chaos suite's entry point); when ``None``, the
+    ``REPRO_FAULT_PLAN`` environment knob is consulted, and when that
+    is unset too, the fault sites are inert.
+
     With a *metrics* registry, every shard executes under a fresh
     worker-local registry (activated via
     :func:`repro.metrics.use_registry`, so the hot-path hooks record
@@ -172,7 +317,8 @@ def run_sharded(
     shard order after the whole dispatch succeeds, along with one
     :class:`~repro.metrics.ShardMetrics` per shard.  Merging last means
     a pool that breaks mid-run and falls back to serial counts each
-    shard exactly once.
+    shard exactly once, and a failed attempt's partial metrics are
+    never counted at all.
     """
     payloads = list(payloads)
     if workers < 1:
@@ -185,10 +331,37 @@ def run_sharded(
             raise ValueError(
                 f"{len(labels)} labels for {len(payloads)} payloads"
             )
+    if retry is None:
+        retry = RetryPolicy.from_env()
+    if fault_plan is None:
+        fault_plan = plan_from_env()
     if metrics is not None:
-        runs = _dispatch(_Instrumented(task), payloads, labels, workers)
+        runs = _dispatch(
+            _Instrumented(task), payloads, labels, workers, retry,
+            fault_plan, strict, failures, metrics,
+        )
         return _collect_metrics(metrics, runs, labels)
-    return _dispatch(task, payloads, labels, workers)
+    return _dispatch(
+        task, payloads, labels, workers, retry, fault_plan, strict,
+        failures, None,
+    )
+
+
+class _PoolBroke(Exception):
+    """Internal signal: the pool died; fall back to serial.
+
+    Carries the pool-level error plus every *original* shard exception
+    observed before the break, so the serial re-run can re-raise the
+    original failure (with its shard id) instead of only the pool
+    error when the re-run fails too.
+    """
+
+    def __init__(
+        self, error: BaseException, originals: dict[int, BaseException]
+    ):
+        super().__init__(repr(error))
+        self.error = error
+        self.originals = originals
 
 
 def _dispatch(
@@ -196,36 +369,148 @@ def _dispatch(
     payloads: Sequence[P],
     labels: Sequence[str],
     workers: int,
+    retry: RetryPolicy,
+    plan: FaultPlan | None,
+    strict: bool,
+    failures: ShardFailureReport | None,
+    metrics: MetricsRegistry | None,
 ) -> list[R]:
     """The execution core: serial loop, pool fan-out, or fallback."""
     effective = min(workers, len(payloads))
     if effective <= 1:
-        return _run_serial(task, payloads, labels)
+        return _run_serial(
+            task, payloads, labels, retry, plan, strict, failures, metrics
+        )
 
     try:
         executor = _make_executor(effective)
     except Exception as error:  # no pool available in this environment
         _warn_fallback(f"could not start a {effective}-worker pool ({error!r})")
-        return _run_serial(task, payloads, labels)
-
-    from concurrent.futures.process import BrokenProcessPool
+        return _run_serial(
+            task, payloads, labels, retry, plan, strict, failures, metrics
+        )
 
     try:
-        futures = [executor.submit(task, payload) for payload in payloads]
-        results = []
-        for label, future in zip(labels, futures):
-            try:
-                results.append(future.result())
-            except BrokenProcessPool as error:
-                _warn_fallback(
-                    f"worker pool broke while running {label!r} ({error!r})"
-                )
-                return _run_serial(task, payloads, labels)
-            except Exception as error:
-                raise ShardError(label, error) from error
-        return results
-    except BrokenProcessPool as error:  # broke during submission
-        _warn_fallback(f"worker pool broke during dispatch ({error!r})")
-        return _run_serial(task, payloads, labels)
+        try:
+            return _run_pool(
+                executor, task, payloads, labels, retry, plan, strict,
+                failures, metrics,
+            )
+        except _PoolBroke as broke:
+            _warn_fallback(f"worker pool broke ({broke.error!r})")
+            return _run_serial(
+                task, payloads, labels, retry, plan, strict, failures,
+                metrics, originals=broke.originals,
+            )
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(
+    executor,
+    task: Callable[[P], R],
+    payloads: Sequence[P],
+    labels: Sequence[str],
+    retry: RetryPolicy,
+    plan: FaultPlan | None,
+    strict: bool,
+    failures: ShardFailureReport | None,
+    metrics: MetricsRegistry | None,
+) -> list[R]:
+    """Pool fan-out with per-shard retries and timeouts.
+
+    All shards are submitted up front (attempt 0); results are
+    consumed in shard order, and a failed shard is re-submitted while
+    the later shards keep running.  Any ``BrokenProcessPool`` converts
+    to :class:`_PoolBroke` so the caller can degrade to serial.
+    """
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    count = len(payloads)
+    attempts = [0] * count
+    originals: dict[int, BaseException] = {}
+
+    def submit(index: int):
+        try:
+            return executor.submit(
+                _run_attempt, task, payloads[index], labels[index],
+                attempts[index], plan,
+            )
+        except BrokenProcessPool as pool_error:
+            raise _PoolBroke(pool_error, dict(originals)) from pool_error
+
+    futures = [submit(index) for index in range(count)]
+    results: list[Any] = [QUARANTINED] * count
+    for index in range(count):
+        while True:
+            try:
+                results[index] = futures[index].result(timeout=retry.timeout)
+                break
+            except BrokenProcessPool as pool_error:
+                raise _PoolBroke(pool_error, dict(originals)) from pool_error
+            except FutureTimeout:
+                futures[index].cancel()
+                error: BaseException = ShardTimeout(
+                    labels[index], retry.timeout or 0.0
+                )
+            except Exception as caught:
+                error = caught
+            originals.setdefault(index, error)
+            if attempts[index] < retry.max_retries:
+                _note_retry(metrics)
+                time.sleep(retry.backoff_seconds(attempts[index]))
+                attempts[index] += 1
+                futures[index] = submit(index)
+                continue
+            _settle_failure(
+                labels[index], error, attempts[index] + 1, strict,
+                failures, metrics,
+            )
+            break
+    return results
+
+
+def _run_serial(
+    task: Callable[[P], R],
+    payloads: Sequence[P],
+    labels: Sequence[str],
+    retry: RetryPolicy,
+    plan: FaultPlan | None,
+    strict: bool,
+    failures: ShardFailureReport | None,
+    metrics: MetricsRegistry | None,
+    originals: dict[int, BaseException] | None = None,
+) -> list[R]:
+    """Serial loop with the same retry/quarantine semantics.
+
+    *originals* carries shard exceptions observed before a pool break:
+    if the serial re-run of such a shard also fails, the raised
+    :class:`ShardError` surfaces the *original* exception (with the
+    shard id) rather than only the re-run's error — the pool failure
+    stays in the ``__cause__`` chain for forensics.
+    """
+    results: list[Any] = []
+    for index, (label, payload) in enumerate(zip(labels, payloads)):
+        attempt = 0
+        while True:
+            try:
+                results.append(
+                    _run_attempt(task, payload, label, attempt, plan)
+                )
+                break
+            except Exception as error:
+                if attempt < retry.max_retries:
+                    _note_retry(metrics)
+                    time.sleep(retry.backoff_seconds(attempt))
+                    attempt += 1
+                    continue
+                original = (originals or {}).get(index)
+                if strict and original is not None:
+                    raise ShardError(label, original) from error
+                _settle_failure(
+                    label, error, attempt + 1, strict, failures, metrics
+                )
+                results.append(QUARANTINED)
+                break
+    return results

@@ -38,8 +38,9 @@ from repro.datasets.builder import (
     DEFAULT_SAMPLE_FRACTION,
     assemble_datasets_from_frame,
 )
-from repro.engine.pool import run_sharded
+from repro.engine.pool import RetryPolicy, run_sharded
 from repro.engine.shards import child_seed, plan_shards
+from repro.faults import FaultPlan, ShardFailureReport
 from repro.logmodel.record import LogRecord
 from repro.metrics import MetricsRegistry, current_registry
 from repro.pipeline import (
@@ -144,6 +145,10 @@ def simulate_into(
     *,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[Sink, dict[str, int]]:
     """Run every day shard into fresh copies of *sink* and reduce.
 
@@ -154,6 +159,12 @@ def simulate_into(
     and the per-day record counts.  A *metrics* registry collects
     per-shard throughput and the hot-path counters without touching the
     random streams — output is byte-identical with and without it.
+
+    *retry* and *fault_plan* pass through to :func:`run_sharded`.  With
+    ``allow_partial=True`` a day shard that fails every attempt is
+    quarantined (reported via *failures*/*metrics*) instead of aborting
+    the run, and the merged sink equals a fault-free run restricted to
+    the surviving days — quarantined days simply never merge.
     """
     plan = plan_shards(config)
     parts = run_sharded(
@@ -162,9 +173,15 @@ def simulate_into(
         workers=workers,
         labels=[shard.shard_id for shard in plan.shards],
         metrics=metrics,
+        retry=retry,
+        strict=not allow_partial,
+        failures=failures,
+        fault_plan=fault_plan,
     )
     records_by_day: dict[str, int] = {}
     for shard, part in zip(plan.shards, parts):
+        if part is None:  # quarantined day
+            continue
         records_by_day[shard.day] = len(part)
         sink.merge(part)
     return sink, records_by_day
@@ -175,11 +192,16 @@ def simulate_day_records(
     *,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> dict[str, list[LogRecord]]:
     """Simulate every configured log-day, in day order.
 
     The returned mapping iterates in ``config.days`` order regardless
-    of worker count or completion order.
+    of worker count or completion order.  In partial mode, quarantined
+    days are absent from the mapping.
     """
     plan = plan_shards(config)
     results = run_sharded(
@@ -188,8 +210,16 @@ def simulate_day_records(
         workers=workers,
         labels=[shard.shard_id for shard in plan.shards],
         metrics=metrics,
+        retry=retry,
+        strict=not allow_partial,
+        failures=failures,
+        fault_plan=fault_plan,
     )
-    return {shard.day: records for shard, records in zip(plan.shards, results)}
+    return {
+        shard.day: records
+        for shard, records in zip(plan.shards, results)
+        if records is not None
+    }
 
 
 def simulate_to_logs(
@@ -201,6 +231,10 @@ def simulate_to_logs(
     compress: bool = False,
     workers: int = 1,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[tuple[Path, int]]:
     """Simulate and write ELFF logs in one fused pass per shard.
 
@@ -213,7 +247,11 @@ def simulate_to_logs(
     sink = GroupedElffSink(
         per_proxy=per_proxy, per_day=per_day, compress=compress
     )
-    merged, _ = simulate_into(config, sink, workers=workers, metrics=metrics)
+    merged, _ = simulate_into(
+        config, sink, workers=workers, metrics=metrics, retry=retry,
+        allow_partial=allow_partial, failures=failures,
+        fault_plan=fault_plan,
+    )
     return merged.write_dir(Path(out_dir))
 
 
@@ -223,6 +261,10 @@ def build_scenario_sharded(
     workers: int = 1,
     sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
+    allow_partial: bool = False,
+    failures: ShardFailureReport | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ScenarioDatasets:
     """Sharded counterpart of :func:`repro.datasets.build_scenario`.
 
@@ -239,7 +281,9 @@ def build_scenario_sharded(
     config = config or ScenarioConfig()
     plan = plan_shards(config)
     sink, records_by_day = simulate_into(
-        config, FrameSink(), workers=workers, metrics=metrics
+        config, FrameSink(), workers=workers, metrics=metrics,
+        retry=retry, allow_partial=allow_partial, failures=failures,
+        fault_plan=fault_plan,
     )
     context = scenario_context(config)
     rng = np.random.default_rng(plan.sampling_seed)

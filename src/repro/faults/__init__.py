@@ -1,0 +1,52 @@
+"""Deterministic fault injection and quarantine reporting.
+
+The chaos side of the engine's resilience contract:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` schedules faults
+  (transient, crash, corrupt, slow) at named sites, deterministically
+  seeded like shard seeds; :func:`fault_point` is the zero-overhead
+  hook the execution core calls at every site, and
+  ``REPRO_FAULT_PLAN`` activates a rate-based plan from the
+  environment (how CI runs the suite under injection).
+* :mod:`repro.faults.report` — :class:`ShardFailure` /
+  :class:`ShardFailureReport` record quarantined shards under the
+  system-wide merge-monoid discipline.
+
+The two invariants the chaos suite pins: with retries, engine output
+under transient faults is byte-identical to the fault-free run at
+every worker count; with quarantine, merged results equal the
+fault-free results restricted to the surviving shards.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedCorruption,
+    InjectedCrash,
+    InjectedFault,
+    active_fault_context,
+    fault_point,
+    parse_fault_plan,
+    plan_from_env,
+    use_fault_plan,
+)
+from repro.faults.report import ShardFailure, ShardFailureReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCorruption",
+    "InjectedCrash",
+    "InjectedFault",
+    "ShardFailure",
+    "ShardFailureReport",
+    "active_fault_context",
+    "fault_point",
+    "parse_fault_plan",
+    "plan_from_env",
+    "use_fault_plan",
+]

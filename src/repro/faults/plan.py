@@ -1,0 +1,293 @@
+"""Deterministic fault injection: plans, rules, and the site hook.
+
+The paper's pipeline had to survive 600 GB of messy reality — truncated
+lines, missing days, proxy errors — and the engine's resilience layer
+is only trustworthy if it can be *tested* against that reality on
+demand.  This module provides the chaos side of that bargain: a
+:class:`FaultPlan` describes which faults fire at which named sites,
+and :func:`fault_point` is the zero-cost hook threaded through the
+execution core (``run_sharded`` shard starts, the ELFF reader, the
+gzip opener).
+
+Determinism is the whole point.  A plan is a pure function of its
+rules and seed: rate-based injection derives each (site, shard)
+decision from a :class:`numpy.random.SeedSequence` keyed by the site
+and shard id — never from call order, worker count, or wall clock — so
+a chaos run is exactly reproducible, and the suite can pin "output
+under faults equals the fault-free output" byte for byte.
+
+When no plan is active, :func:`fault_point` is a single global read
+and a predicted branch — fault sites cost nothing in production runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Fault kinds a rule may inject.
+FAULT_KINDS = ("transient", "crash", "corrupt", "slow")
+
+#: The named sites the execution core exposes.  Documented here so the
+#: chaos suite and the docs agree on the vocabulary.
+FAULT_SITES = (
+    "shard.start",   # entry of every run_sharded shard attempt
+    "elff.source",   # ElffSource pipeline iteration start
+    "elff.read",     # path-level ELFF read (read_log)
+    "gzip.open",     # gzip-transparent reader open
+)
+
+
+class InjectedFault(RuntimeError):
+    """A transient fault fired by a :class:`FaultPlan`.
+
+    Carries the site, the shard id the plan matched, and the attempt
+    number, so retry logic and quarantine reports can name the cause.
+    """
+
+    kind = "transient"
+
+    def __init__(self, site: str, shard_id: str, attempt: int):
+        super().__init__(
+            f"injected {self.kind} fault at {site} "
+            f"(shard {shard_id!r}, attempt {attempt})"
+        )
+        self.site = site
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Exceptions with multi-arg __init__ need explicit reduce to
+        # survive the worker -> parent pickle trip.
+        return (type(self), (self.site, self.shard_id, self.attempt))
+
+
+class InjectedCrash(InjectedFault):
+    """A permanent worker-crash fault (never survives a retry)."""
+
+    kind = "crash"
+
+
+class InjectedCorruption(InjectedFault):
+    """A corrupted-input fault (persists across retries, like a bad
+    file on disk)."""
+
+    kind = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: what fires, where, and for how long.
+
+    ``shard_id=None`` matches every shard at the site; otherwise the
+    rule fires only for the exact shard label (``day:2011-08-03``,
+    ``log:sg-42.log``).  ``transient`` and ``slow`` faults honour
+    ``fail_attempts`` — they fire while ``attempt < fail_attempts`` and
+    then stop, which is what makes them retry-survivable.  ``crash``
+    and ``corrupt`` fire on every attempt (a dead worker stays dead, a
+    corrupt file stays corrupt), which is what exercises quarantine.
+    """
+
+    site: str
+    kind: str = "transient"
+    shard_id: str | None = None
+    fail_attempts: int = 1
+    delay_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+
+    def matches(self, site: str, shard_id: str) -> bool:
+        """Whether this rule applies at *site* for *shard_id*."""
+        if self.site != site:
+            return False
+        return self.shard_id is None or self.shard_id == shard_id
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults.
+
+    Two layers compose:
+
+    * **explicit rules** — targeted faults for specific sites/shards
+      (crash shard k, corrupt this file, slow that day);
+    * **rate-based transient noise** — every ``rate_site`` shard rolls
+      a deterministic uniform against ``rate``; rolls derive from a
+      :class:`~numpy.random.SeedSequence` keyed by ``(seed, site,
+      shard_id)`` exactly like the engine derives shard seeds, so the
+      same plan fires the same faults at every worker count.
+
+    Plans are frozen and picklable: the parent resolves one plan and
+    ships it to every worker with the shard payload.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    rate: float = 0.0
+    rate_site: str = "shard.start"
+    rate_attempts: int = 1
+
+    def roll(self, site: str, shard_id: str) -> float:
+        """The deterministic uniform [0, 1) for (site, shard_id)."""
+        token = zlib.crc32(f"{site}:{shard_id}".encode("utf-8"))
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(token,)
+        )
+        return float(sequence.generate_state(1)[0]) / 2.0 ** 32
+
+    def faults_for(self, site: str, shard_id: str, attempt: int = 0):
+        """The rules (plus any rate fault) firing at this call."""
+        fired = [
+            rule for rule in self.rules if rule.matches(site, shard_id)
+        ]
+        if (
+            self.rate > 0.0
+            and site == self.rate_site
+            and attempt < self.rate_attempts
+            and self.roll(site, shard_id) < self.rate
+        ):
+            fired.append(FaultRule(
+                site=site, kind="transient", shard_id=shard_id,
+                fail_attempts=self.rate_attempts,
+            ))
+        return fired
+
+    def fire(self, site: str, shard_id: str, attempt: int) -> None:
+        """Inject whatever this plan schedules at (site, shard_id).
+
+        Raises the matching :class:`InjectedFault` subclass, sleeps for
+        ``slow`` rules, or returns normally when nothing fires.
+        """
+        for rule in self.faults_for(site, shard_id, attempt):
+            if rule.kind == "slow":
+                if attempt < rule.fail_attempts and rule.delay_seconds > 0:
+                    time.sleep(rule.delay_seconds)
+                continue
+            if rule.kind == "crash":
+                raise InjectedCrash(site, shard_id, attempt)
+            if rule.kind == "corrupt":
+                raise InjectedCorruption(site, shard_id, attempt)
+            if attempt < rule.fail_attempts:
+                raise InjectedFault(site, shard_id, attempt)
+
+
+#: The active (plan, shard_id, attempt) context; ``None`` disables all
+#: fault sites — a single predicted branch on the hot paths.
+_ACTIVE: tuple[FaultPlan, str, int] | None = None
+
+
+def active_fault_context() -> tuple[FaultPlan, str, int] | None:
+    """The (plan, shard_id, attempt) currently in effect, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_fault_plan(
+    plan: FaultPlan | None,
+    *,
+    shard_id: str = "?",
+    attempt: int = 0,
+) -> Iterator[FaultPlan | None]:
+    """Activate *plan* for a ``with`` block (nesting-safe).
+
+    The engine wraps every shard attempt in this context, which is how
+    ``fault_point`` calls deep inside the shard (ELFF reads, gzip
+    opens) know which shard and attempt they belong to.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None if plan is None else (plan, shard_id, attempt)
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def fault_point(site: str) -> None:
+    """The hook the execution core calls at every named fault site.
+
+    A no-op (one global read, one branch) unless a plan was activated
+    with :func:`use_fault_plan` — production runs pay nothing.
+    """
+    context = _ACTIVE
+    if context is None:
+        return
+    plan, shard_id, attempt = context
+    plan.fire(site, shard_id, attempt)
+
+
+# -- the environment knob ----------------------------------------------------
+
+#: Cache of the parsed REPRO_FAULT_PLAN value, keyed by the raw text so
+#: tests that monkeypatch the variable see fresh parses.
+_ENV_CACHE: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse the ``REPRO_FAULT_PLAN`` spec string.
+
+    Comma-separated ``key=value`` pairs: ``seed=<int>``,
+    ``rate=<float>``, ``attempts=<int>`` (how many attempts the rate
+    faults poison), ``site=<name>`` (which site rolls the rate; default
+    ``shard.start``).  Example::
+
+        REPRO_FAULT_PLAN="seed=20260805,rate=0.1"
+
+    gives every shard a deterministic 10 % chance of one transient
+    failure on its first attempt — recovered by the default retry
+    budget, so a chaos CI run exercises the injection and retry paths
+    while every assertion stays byte-identical.
+    """
+    seed, rate, attempts, site = 0, 0.0, 1, "shard.start"
+    for pair in spec.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        key, value = key.strip(), value.strip()
+        try:
+            if key == "seed":
+                seed = int(value)
+            elif key == "rate":
+                rate = float(value)
+            elif key == "attempts":
+                attempts = int(value)
+            elif key == "site":
+                site = value
+            else:
+                raise ValueError(f"unknown key {key!r}")
+        except ValueError as error:
+            raise ValueError(
+                f"bad REPRO_FAULT_PLAN entry {pair!r}: {error}"
+            ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"REPRO_FAULT_PLAN rate must be in [0, 1], got {rate}")
+    return FaultPlan(seed=seed, rate=rate, rate_attempts=attempts,
+                     rate_site=site)
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan described by ``REPRO_FAULT_PLAN``, or ``None``.
+
+    Parsed lazily and cached per spec text, so the engine's dispatch
+    path costs one environment lookup when the variable is unset.
+    """
+    global _ENV_CACHE
+    spec = os.environ.get("REPRO_FAULT_PLAN")
+    if not spec:
+        return None
+    cached_spec, cached_plan = _ENV_CACHE
+    if cached_spec != spec:
+        _ENV_CACHE = (spec, parse_fault_plan(spec))
+    return _ENV_CACHE[1]

@@ -1,0 +1,97 @@
+"""Quarantine bookkeeping: what failed, where, and after how many tries.
+
+In partial-results mode (``strict=False``) the engine does not die on
+a shard that keeps failing after its retry budget — it quarantines the
+shard into a :class:`ShardFailure` record and carries on with the
+survivors.  :class:`ShardFailureReport` collects those records under
+the same monoid discipline as every other accumulator in the system
+(``merge``/``+=``/``+`` with the empty report as identity, merge =
+concatenation in shard order), so failure reports from sharded
+sub-runs reduce exactly like the results they ride alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One quarantined shard: which, where it failed, and why."""
+
+    shard_id: str
+    site: str
+    attempts: int
+    error: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for the ``--metrics`` report)."""
+        return {
+            "shard_id": self.shard_id,
+            "site": self.site,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+class ShardFailureReport:
+    """A mergeable list of :class:`ShardFailure` records.
+
+    Merging concatenates in merge order, which keeps the report
+    deterministic: the engine settles failures in shard order, so the
+    report reads like the shard plan with the survivors removed.
+    """
+
+    def __init__(self, failures: list[ShardFailure] | None = None):
+        self.failures: list[ShardFailure] = list(failures or [])
+
+    def add(self, failure: ShardFailure) -> None:
+        """Record one quarantined shard."""
+        self.failures.append(failure)
+
+    # -- the monoid --------------------------------------------------------
+
+    def merge(self, other: "ShardFailureReport") -> "ShardFailureReport":
+        """Fold *other*'s failures in (concatenation); returns self."""
+        self.failures.extend(other.failures)
+        return self
+
+    def copy(self) -> "ShardFailureReport":
+        """An independent report with the same records."""
+        return ShardFailureReport(self.failures)
+
+    def __iadd__(self, other: "ShardFailureReport") -> "ShardFailureReport":
+        if not isinstance(other, ShardFailureReport):
+            return NotImplemented
+        return self.merge(other)
+
+    def __add__(self, other: "ShardFailureReport") -> "ShardFailureReport":
+        """Non-mutating merge; ``sum(parts, ShardFailureReport())``."""
+        if not isinstance(other, ShardFailureReport):
+            return NotImplemented
+        return self.copy().merge(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardFailureReport):
+            return NotImplemented
+        return self.failures == other.failures
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __iter__(self):
+        return iter(self.failures)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def shard_ids(self) -> list[str]:
+        """The quarantined shard labels, in settle order."""
+        return [failure.shard_id for failure in self.failures]
+
+    def to_dict(self) -> list[dict]:
+        """JSON-ready representation."""
+        return [failure.to_dict() for failure in self.failures]
+
+    def __repr__(self) -> str:
+        return f"ShardFailureReport({self.shard_ids()!r})"

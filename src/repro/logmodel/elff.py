@@ -17,10 +17,12 @@ from __future__ import annotations
 import csv
 import gzip
 import io
+import zlib
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.faults import fault_point
 from repro.logmodel.fields import FIELDS
 from repro.logmodel.record import LogRecord
 from repro.metrics import current_registry
@@ -90,6 +92,7 @@ def open_log_writer(path: Path | str):
 def open_log_reader(path: Path | str):
     """Open *path* for ELFF text reading (gzip-transparent)."""
     if is_gzip_path(path):
+        fault_point("gzip.open")
         return gzip.open(path, "rt", encoding="utf-8", newline="")
     return open(path, newline="")
 
@@ -122,17 +125,25 @@ class LogFormatError(ValueError):
 
 @dataclass
 class ReadStats:
-    """Bookkeeping for lenient reads: what was kept, what was dropped."""
+    """Bookkeeping for lenient reads: what was kept, what was dropped.
+
+    ``skipped`` counts malformed-but-parseable rows; ``corrupted``
+    counts streams that died mid-read (truncated gzip, bad CRC,
+    garbage that broke the CSV layer) — one per file, since a corrupt
+    stream ends the file.
+    """
 
     records: int = 0
     skipped: int = 0
     first_error: str | None = None
+    corrupted: int = 0
 
     def merge(self, other: "ReadStats") -> "ReadStats":
         """Fold another reader's bookkeeping in (sharded reads merge
         one ReadStats per file); returns self."""
         self.records += other.records
         self.skipped += other.skipped
+        self.corrupted += other.corrupted
         if self.first_error is None:
             self.first_error = other.first_error
         return self
@@ -141,6 +152,61 @@ class ReadStats:
         if not isinstance(other, ReadStats):
             return NotImplemented
         return self.merge(other)
+
+
+#: Exceptions that mean the byte stream itself died mid-read, as
+#: opposed to a well-formed stream carrying a malformed row: truncated
+#: gzip members (EOFError), deflate garbage (zlib.error), CRC/header
+#: failures (BadGzipFile), binary noise hitting the CSV tokenizer or
+#: the UTF-8 decoder.
+_STREAM_CORRUPTION = (
+    EOFError,
+    zlib.error,
+    gzip.BadGzipFile,
+    csv.Error,
+    UnicodeDecodeError,
+)
+
+
+def _stream_offset(handle) -> int | None:
+    """Best-effort byte offset of *handle*'s underlying file.
+
+    For gzip text readers this is the *compressed* offset (TextIOWrapper
+    → GzipFile → raw file); for plain files the buffered byte position.
+    """
+    buffer = getattr(handle, "buffer", None)
+    fileobj = getattr(buffer, "fileobj", None)
+    for candidate in (fileobj, buffer, handle):
+        if candidate is None:
+            continue
+        try:
+            return candidate.tell()
+        except (OSError, ValueError):
+            continue
+    return None
+
+
+def _settle_corruption(
+    path: Path,
+    handle,
+    error: BaseException,
+    lenient: bool,
+    stats: ReadStats | None,
+) -> None:
+    """A log stream died mid-read: raise (strict) or count (lenient)."""
+    offset = _stream_offset(handle)
+    where = "unknown offset" if offset is None else f"byte {offset}"
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("elff.read.corrupted")
+    if not lenient:
+        raise LogFormatError(
+            f"{path}: corrupted log stream at {where}: {error}"
+        ) from error
+    if stats is not None:
+        stats.corrupted += 1
+        if stats.first_error is None:
+            stats.first_error = f"{path}: {error}"
 
 
 def read_log(
@@ -157,10 +223,24 @@ def read_log(
     With ``lenient=True`` malformed data rows are skipped instead of
     raising — the Telecomix files contain truncated and garbled lines —
     and, when a :class:`ReadStats` is passed, counted there.
+
+    Path reads additionally survive *corrupted streams* — truncated
+    gzip members, CRC failures, deflate garbage, byte noise that breaks
+    the CSV or text-decoding layer.  In strict mode these raise
+    :class:`LogFormatError` naming the file and the byte offset
+    reached; in lenient mode the records read so far are kept, the
+    corruption is counted into ``stats.corrupted``, and the stream
+    ends — exactly how the paper's pipeline had to treat log files the
+    proxies never finished writing.
     """
     if isinstance(source, (str, Path)):
-        with open_log_reader(source) as handle:
-            yield from read_log(handle, lenient=lenient, stats=stats)
+        path = Path(source)
+        fault_point("elff.read")
+        with open_log_reader(path) as handle:
+            try:
+                yield from read_log(handle, lenient=lenient, stats=stats)
+            except _STREAM_CORRUPTION as error:
+                _settle_corruption(path, handle, error, lenient, stats)
         return
     reader = csv.reader(source)
     registry = current_registry()

@@ -22,6 +22,8 @@ from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.faults.report import ShardFailure
+
 
 @dataclass(frozen=True)
 class ShardMetrics:
@@ -89,6 +91,9 @@ class MetricsRegistry:
       ``observe``); merging adds counts and totals.
     * **shards** are :class:`ShardMetrics` rows; merging concatenates
       in merge order.
+    * **failures** are quarantined-shard
+      :class:`~repro.faults.ShardFailure` rows (partial-results mode);
+      merging concatenates in merge order.
 
     Mutation is guarded by a lock so concurrent threads (e.g. a future
     callback) can record safely; cross-process safety comes from each
@@ -100,6 +105,7 @@ class MetricsRegistry:
         self.gauges: dict[str, float] = {}
         self.timers: dict[str, TimerStats] = {}
         self.shards: list[ShardMetrics] = []
+        self.failures: list[ShardFailure] = []
         self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
@@ -137,11 +143,16 @@ class MetricsRegistry:
         with self._lock:
             self.shards.append(shard)
 
+    def add_failure(self, failure: ShardFailure) -> None:
+        """Append one quarantined shard's failure record."""
+        with self._lock:
+            self.failures.append(failure)
+
     # -- the monoid --------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold *other* in (counters add, gauges right-bias, timers
-        add, shards concatenate); returns self."""
+        add, shards and failures concatenate); returns self."""
         with self._lock:
             self.counters.update(other.counters)
             self.gauges.update(other.gauges)
@@ -152,6 +163,7 @@ class MetricsRegistry:
                 else:
                     mine.merge(stats)
             self.shards.extend(other.shards)
+            self.failures.extend(other.failures)
         return self
 
     def copy(self) -> "MetricsRegistry":
@@ -170,7 +182,10 @@ class MetricsRegistry:
         return self.copy().merge(other)
 
     def _state(self) -> tuple:
-        return (self.counters, self.gauges, self.timers, self.shards)
+        return (
+            self.counters, self.gauges, self.timers, self.shards,
+            self.failures,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MetricsRegistry):
@@ -215,6 +230,7 @@ class MetricsRegistry:
                 for name in sorted(self.timers)
             },
             "shards": [shard.to_dict() for shard in self.shards],
+            "failures": [failure.to_dict() for failure in self.failures],
         }
 
 

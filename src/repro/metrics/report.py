@@ -12,8 +12,9 @@ from pathlib import Path
 
 from repro.metrics.registry import MetricsRegistry
 
-#: Version tag of the JSON metrics document.
-METRICS_SCHEMA = "repro.metrics/1"
+#: Version tag of the JSON metrics document.  Bumped to /2 when the
+#: quarantined-shard ``failures`` array joined the schema.
+METRICS_SCHEMA = "repro.metrics/2"
 
 
 def metrics_report(
@@ -31,6 +32,7 @@ def metrics_report(
         "records": records,
         "shard_wall_seconds": shard_wall,
         "records_per_sec": records / shard_wall if shard_wall > 0 else 0.0,
+        "quarantined_shards": len(registry.failures),
     }
     document = {
         "schema": METRICS_SCHEMA,
@@ -134,6 +136,24 @@ def metrics_to_markdown(registry: MetricsRegistry) -> str:
                         shard.worker_pid,
                     ]
                     for shard in registry.shards
+                ],
+            ),
+            "",
+        ]
+    if registry.failures:
+        parts += [
+            "### Quarantined shards",
+            "",
+            _md_table(
+                ["Shard", "Site", "Attempts", "Error"],
+                [
+                    [
+                        failure.shard_id,
+                        failure.site,
+                        failure.attempts,
+                        failure.error,
+                    ]
+                    for failure in registry.failures
                 ],
             ),
             "",

@@ -7,6 +7,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.logmodel.elff import ReadStats, read_log
 from repro.logmodel.record import LogRecord
 from repro.pipeline.core import Source
@@ -45,6 +46,11 @@ class ElffSource(Source):
     ``lenient=True`` skips malformed rows the way the Telecomix files
     require, counting them into *stats* when given; the default strict
     mode raises :class:`~repro.logmodel.elff.LogFormatError`.
+
+    Iteration passes the ``elff.source`` fault site (and, underneath,
+    the reader's ``elff.read``/``gzip.open`` sites), so an active
+    :class:`~repro.faults.FaultPlan` can corrupt or fail file shards
+    exactly where real disk trouble would surface.
     """
 
     def __init__(
@@ -59,4 +65,5 @@ class ElffSource(Source):
         self.stats = stats
 
     def __iter__(self) -> Iterator[LogRecord]:
+        fault_point("elff.source")
         return read_log(self.path, lenient=self.lenient, stats=self.stats)

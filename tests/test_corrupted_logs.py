@@ -1,0 +1,179 @@
+"""Corrupted-input coverage: gzip logs that die mid-read.
+
+The Telecomix leak is full of files the proxies never finished
+writing.  These tests pin the reader's contract for byte-level
+corruption — distinct from malformed *rows*, which a well-formed
+stream can carry:
+
+* lenient mode keeps every record read before the stream died, counts
+  the file into ``ReadStats.corrupted``, and carries on;
+* strict mode raises :class:`LogFormatError` naming the file and the
+  byte offset reached;
+* zero-byte files read as empty (gzip yields no output and no error) —
+  graceful, not corrupt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ShardError, analyze_logs, load_frames
+from repro.faults import ShardFailureReport
+from repro.logmodel.elff import (
+    LogFormatError,
+    ReadStats,
+    read_log,
+    write_log,
+)
+from repro.pipeline import ElffSource
+from tests.helpers import make_record
+
+RECORDS = [
+    make_record(cs_host=f"host-{index}.example.com", epoch=10_000 + index)
+    # enough rows that half the compressed bytes still decode a prefix
+    for index in range(300)
+]
+
+
+@pytest.fixture()
+def good_gz(tmp_path):
+    path = tmp_path / "good.log.gz"
+    write_log(RECORDS, path)
+    return path
+
+
+def _truncated(tmp_path, source) -> "Path":
+    """A gzip member cut off mid-stream (EOFError territory)."""
+    path = tmp_path / "truncated.log.gz"
+    payload = source.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    return path
+
+
+def _bad_crc(tmp_path, source) -> "Path":
+    """A complete stream whose CRC trailer was flipped."""
+    path = tmp_path / "badcrc.log.gz"
+    payload = bytearray(source.read_bytes())
+    payload[-5] ^= 0xFF  # inside the 8-byte crc32+isize trailer
+    path.write_bytes(bytes(payload))
+    return path
+
+
+def _garbage(tmp_path) -> "Path":
+    """Bytes that were never gzip at all."""
+    path = tmp_path / "garbage.log.gz"
+    path.write_bytes(b"\x00\xffnot a gzip stream\x13\x37" * 40)
+    return path
+
+
+class TestLenientReads:
+    def test_truncated_keeps_prefix_and_counts_the_file(
+        self, tmp_path, good_gz
+    ):
+        path = _truncated(tmp_path, good_gz)
+        stats = ReadStats()
+        records = list(read_log(path, lenient=True, stats=stats))
+        assert 0 < len(records) < len(RECORDS)
+        assert records == RECORDS[: len(records)]
+        assert stats.corrupted == 1
+        assert stats.skipped == 0
+        assert str(path) in stats.first_error
+
+    def test_bad_crc_keeps_all_rows_and_counts_the_file(
+        self, tmp_path, good_gz
+    ):
+        # The CRC mismatch only surfaces at end-of-stream, after every
+        # row already decompressed.
+        path = _bad_crc(tmp_path, good_gz)
+        stats = ReadStats()
+        records = list(read_log(path, lenient=True, stats=stats))
+        assert records == RECORDS
+        assert stats.corrupted == 1
+
+    def test_garbage_bytes_yield_nothing_but_count(self, tmp_path):
+        path = _garbage(tmp_path)
+        stats = ReadStats()
+        assert list(read_log(path, lenient=True, stats=stats)) == []
+        assert stats.corrupted == 1
+
+    def test_zero_byte_file_is_empty_not_corrupt(self, tmp_path):
+        path = tmp_path / "empty.log.gz"
+        path.write_bytes(b"")
+        stats = ReadStats()
+        assert list(read_log(path, lenient=True, stats=stats)) == []
+        assert stats.corrupted == 0
+        assert stats.first_error is None
+
+    def test_elff_source_surfaces_the_same_bookkeeping(
+        self, tmp_path, good_gz
+    ):
+        path = _truncated(tmp_path, good_gz)
+        stats = ReadStats()
+        records = list(ElffSource(path, lenient=True, stats=stats))
+        assert records == RECORDS[: len(records)]
+        assert stats.corrupted == 1
+
+    def test_malformed_row_is_skipped_not_corrupted(self, tmp_path):
+        # A well-formed stream carrying a bad row exercises the other
+        # counter: skipped, not corrupted.
+        path = tmp_path / "badrow.log"
+        write_log(RECORDS[:2], path)
+        with open(path, "a") as handle:
+            handle.write("definitely,not,a,log,row\n")
+        stats = ReadStats()
+        assert list(read_log(path, lenient=True, stats=stats)) == RECORDS[:2]
+        assert stats.skipped == 1
+        assert stats.corrupted == 0
+
+
+class TestStrictReads:
+    @pytest.mark.parametrize("corrupt", [_truncated, _bad_crc])
+    def test_raises_with_file_and_offset(
+        self, tmp_path, good_gz, corrupt
+    ):
+        path = corrupt(tmp_path, good_gz)
+        with pytest.raises(LogFormatError, match="corrupted log stream"):
+            list(read_log(path))
+        with pytest.raises(LogFormatError, match=str(path)):
+            list(read_log(path))
+        with pytest.raises(LogFormatError, match="byte "):
+            list(read_log(path))
+
+    def test_garbage_raises_too(self, tmp_path):
+        with pytest.raises(LogFormatError, match="corrupted log stream"):
+            list(read_log(_garbage(tmp_path)))
+
+    def test_cause_is_the_underlying_stream_error(self, tmp_path, good_gz):
+        path = _truncated(tmp_path, good_gz)
+        with pytest.raises(LogFormatError) as excinfo:
+            list(read_log(path))
+        assert isinstance(excinfo.value.__cause__, EOFError)
+
+
+class TestAnalyzeOverCorruption:
+    def test_lenient_analyze_skips_and_counts(self, tmp_path, good_gz):
+        bad = _truncated(tmp_path, good_gz)
+        analysis, stats = analyze_logs([good_gz, bad], workers=1)
+        clean, _ = analyze_logs([good_gz], workers=1)
+        assert stats.corrupted == 1
+        # the truncated file still contributed its readable prefix
+        assert analysis.total > clean.total
+
+    def test_strict_frame_load_raises_shard_error(self, tmp_path, good_gz):
+        bad = _bad_crc(tmp_path, good_gz)
+        with pytest.raises(ShardError) as excinfo:
+            load_frames([good_gz, bad], workers=1)
+        assert excinfo.value.shard_id == f"log:{bad.name}"
+        assert isinstance(excinfo.value.error, LogFormatError)
+
+    def test_partial_frame_load_quarantines_the_bad_file(
+        self, tmp_path, good_gz
+    ):
+        bad = _bad_crc(tmp_path, good_gz)
+        failures = ShardFailureReport()
+        frame = load_frames(
+            [good_gz, bad], workers=1, allow_partial=True,
+            failures=failures,
+        )
+        assert len(frame) == len(RECORDS)
+        assert failures.shard_ids() == [f"log:{bad.name}"]

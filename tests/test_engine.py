@@ -61,6 +61,22 @@ def _exit_unless_pid(parent_pid):
     return parent_pid * 2
 
 
+def _fail_then_kill_then_fail(payload):
+    # Scripted failure ladder for the fallback-forensics test: in a
+    # worker, raise an ordinary error on the first attempt and kill the
+    # process on the retry (breaking the pool); in the parent's serial
+    # re-run, fail with a *different* error.
+    role, parent_pid, marker = payload
+    if role == "calm":
+        return "ok"
+    if os.getpid() == parent_pid:
+        raise RuntimeError("serial re-run boom")
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise ValueError("original boom")
+    os._exit(13)
+
+
 # -- shard planning ----------------------------------------------------------
 
 class TestShardPlanning:
@@ -150,6 +166,31 @@ class TestRunSharded:
         with pytest.warns(EngineFallbackWarning, match="pool broke"):
             results = run_sharded(_exit_unless_pid, [pid, pid], workers=2)
         assert results == [pid * 2, pid * 2]
+
+    def test_fallback_reraises_the_original_shard_error(self, tmp_path):
+        """Regression: when the pool breaks and the serial re-run of a
+        shard *also* fails, the ShardError must surface the original
+        pool-run exception (with the shard id), not just the re-run's
+        error — which stays chained as ``__cause__`` for forensics."""
+        from repro.engine import RetryPolicy
+
+        marker = str(tmp_path / "attempted-once")
+        payloads = [
+            ("wild", os.getpid(), marker),
+            ("calm", os.getpid(), marker),
+        ]
+        with pytest.warns(EngineFallbackWarning, match="pool broke"):
+            with pytest.raises(ShardError) as excinfo:
+                run_sharded(
+                    _fail_then_kill_then_fail, payloads, workers=2,
+                    labels=["day:wild", "day:calm"],
+                    retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+                )
+        assert excinfo.value.shard_id == "day:wild"
+        assert isinstance(excinfo.value.error, ValueError)
+        assert "original boom" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "serial re-run boom" in str(excinfo.value.__cause__)
 
 
 # -- simulation determinism --------------------------------------------------

@@ -1,0 +1,350 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+The chaos harness is only useful if its own behavior is pinned:
+rules fire exactly where and when the plan says, rate-based injection
+is a pure function of (seed, site, shard), the active-plan context
+nests and restores, and the quarantine report obeys the same monoid
+laws as every other accumulator in the system.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    InjectedCorruption,
+    InjectedCrash,
+    InjectedFault,
+    ShardFailure,
+    ShardFailureReport,
+    active_fault_context,
+    fault_point,
+    parse_fault_plan,
+    plan_from_env,
+    use_fault_plan,
+)
+
+
+# -- exceptions --------------------------------------------------------------
+
+class TestInjectedFault:
+    def test_message_names_site_shard_and_attempt(self):
+        error = InjectedFault("shard.start", "day:2011-08-03", 2)
+        assert "shard.start" in str(error)
+        assert "day:2011-08-03" in str(error)
+        assert "attempt 2" in str(error)
+        assert error.site == "shard.start"
+        assert error.shard_id == "day:2011-08-03"
+        assert error.attempt == 2
+
+    def test_kinds(self):
+        assert InjectedFault("s", "x", 0).kind == "transient"
+        assert InjectedCrash("s", "x", 0).kind == "crash"
+        assert InjectedCorruption("s", "x", 0).kind == "corrupt"
+        assert isinstance(InjectedCrash("s", "x", 0), InjectedFault)
+
+    @pytest.mark.parametrize(
+        "cls", [InjectedFault, InjectedCrash, InjectedCorruption]
+    )
+    def test_survives_pickle(self, cls):
+        # Worker exceptions cross the pool boundary pickled; multi-arg
+        # __init__ exceptions silently break without __reduce__.
+        error = cls("elff.read", "log:sg-42.log", 1)
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is cls
+        assert (clone.site, clone.shard_id, clone.attempt) == (
+            "elff.read", "log:sg-42.log", 1,
+        )
+
+
+# -- rules -------------------------------------------------------------------
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(site="shard.start", kind="meteor")
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_accepts_every_documented_kind(self, kind):
+        assert FaultRule(site="shard.start", kind=kind).kind == kind
+
+    def test_matches_site_and_wildcard_shard(self):
+        rule = FaultRule(site="shard.start")
+        assert rule.matches("shard.start", "day:a")
+        assert rule.matches("shard.start", "day:b")
+        assert not rule.matches("elff.read", "day:a")
+
+    def test_matches_exact_shard_only_when_pinned(self):
+        rule = FaultRule(site="shard.start", shard_id="day:a")
+        assert rule.matches("shard.start", "day:a")
+        assert not rule.matches("shard.start", "day:b")
+
+
+# -- plans -------------------------------------------------------------------
+
+class TestFaultPlanFire:
+    def test_transient_fires_then_heals(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="shard.start", fail_attempts=2),
+        ))
+        for attempt in (0, 1):
+            with pytest.raises(InjectedFault):
+                plan.fire("shard.start", "day:a", attempt)
+        plan.fire("shard.start", "day:a", 2)  # healed
+
+    def test_crash_fires_on_every_attempt(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="shard.start", kind="crash"),
+        ))
+        for attempt in (0, 1, 5):
+            with pytest.raises(InjectedCrash):
+                plan.fire("shard.start", "day:a", attempt)
+
+    def test_corrupt_fires_on_every_attempt(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="gzip.open", kind="corrupt"),
+        ))
+        with pytest.raises(InjectedCorruption):
+            plan.fire("gzip.open", "log:x", 3)
+
+    def test_slow_sleeps_then_continues(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="shard.start", kind="slow", delay_seconds=0.0),
+        ))
+        plan.fire("shard.start", "day:a", 0)  # no exception
+
+    def test_unmatched_site_is_silent(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="elff.read", kind="crash"),
+        ))
+        plan.fire("shard.start", "day:a", 0)
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="shard.start", kind="crash"),),
+            seed=7, rate=0.25,
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestRateInjection:
+    def test_roll_is_deterministic_and_in_range(self):
+        plan = FaultPlan(seed=11, rate=0.5)
+        first = plan.roll("shard.start", "day:a")
+        assert 0.0 <= first < 1.0
+        assert plan.roll("shard.start", "day:a") == first
+
+    def test_roll_varies_by_site_shard_and_seed(self):
+        plan = FaultPlan(seed=11)
+        rolls = {
+            plan.roll(site, shard)
+            for site in FAULT_SITES
+            for shard in ("day:a", "day:b", "day:c")
+        }
+        assert len(rolls) > 1
+        assert FaultPlan(seed=12).roll(
+            "shard.start", "day:a"
+        ) != plan.roll("shard.start", "day:a")
+
+    def test_rate_one_poisons_only_the_configured_attempts(self):
+        plan = FaultPlan(seed=3, rate=1.0, rate_attempts=1)
+        with pytest.raises(InjectedFault):
+            plan.fire("shard.start", "day:a", 0)
+        plan.fire("shard.start", "day:a", 1)  # attempt 1 is clean
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=3, rate=0.0)
+        for shard in ("day:a", "day:b", "day:c"):
+            plan.fire("shard.start", shard, 0)
+
+    def test_rate_only_rolls_at_the_rate_site(self):
+        plan = FaultPlan(seed=3, rate=1.0, rate_site="elff.read")
+        plan.fire("shard.start", "day:a", 0)
+        with pytest.raises(InjectedFault):
+            plan.fire("elff.read", "day:a", 0)
+
+    def test_rate_hit_fraction_tracks_rate(self):
+        plan = FaultPlan(seed=99, rate=0.3)
+        hits = sum(
+            plan.roll("shard.start", f"day:{i}") < plan.rate
+            for i in range(400)
+        )
+        assert 0.2 < hits / 400 < 0.4
+
+
+# -- the active-plan context and the hook ------------------------------------
+
+class TestFaultPoint:
+    def test_noop_when_no_plan_is_active(self):
+        assert active_fault_context() is None
+        fault_point("shard.start")  # must not raise
+
+    def test_fires_inside_context(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="shard.start", kind="crash"),
+        ))
+        with use_fault_plan(plan, shard_id="day:a", attempt=0):
+            with pytest.raises(InjectedCrash) as caught:
+                fault_point("shard.start")
+        assert caught.value.shard_id == "day:a"
+        assert active_fault_context() is None
+
+    def test_context_nests_and_restores(self):
+        outer = FaultPlan(seed=1)
+        inner = FaultPlan(seed=2)
+        with use_fault_plan(outer, shard_id="day:a"):
+            with use_fault_plan(inner, shard_id="day:b", attempt=3):
+                assert active_fault_context() == (inner, "day:b", 3)
+            assert active_fault_context() == (outer, "day:a", 0)
+        assert active_fault_context() is None
+
+    def test_none_plan_disables_sites_inside_context(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="shard.start", kind="crash"),
+        ))
+        with use_fault_plan(plan, shard_id="day:a"):
+            with use_fault_plan(None):
+                fault_point("shard.start")  # suppressed
+            with pytest.raises(InjectedCrash):
+                fault_point("shard.start")
+
+    def test_context_restores_after_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_fault_plan(FaultPlan(seed=1), shard_id="day:a"):
+                raise RuntimeError("boom")
+        assert active_fault_context() is None
+
+
+# -- the environment knob ----------------------------------------------------
+
+class TestEnvSpec:
+    def test_parse_full_spec(self):
+        plan = parse_fault_plan(
+            "seed=20260805, rate=0.1, attempts=2, site=elff.read"
+        )
+        assert plan == FaultPlan(
+            seed=20260805, rate=0.1, rate_attempts=2,
+            rate_site="elff.read",
+        )
+
+    def test_parse_defaults(self):
+        assert parse_fault_plan("") == FaultPlan()
+        assert parse_fault_plan("seed=5") == FaultPlan(seed=5)
+
+    @pytest.mark.parametrize("spec", [
+        "seed=abc", "rate=lots", "volume=11", "rate=1.5", "rate=-0.1",
+    ])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_plan(spec)
+
+    def test_plan_from_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert plan_from_env() is None
+
+    def test_plan_from_env_parses_and_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=7,rate=0.5")
+        assert plan_from_env() == FaultPlan(seed=7, rate=0.5)
+        assert plan_from_env() == FaultPlan(seed=7, rate=0.5)  # cached
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=8")
+        assert plan_from_env() == FaultPlan(seed=8)
+
+
+# -- the quarantine report monoid --------------------------------------------
+
+def _failure(tag: str, attempts: int = 3) -> ShardFailure:
+    return ShardFailure(
+        shard_id=f"day:{tag}", site="shard.start", attempts=attempts,
+        error=f"InjectedCrash({tag!r})",
+    )
+
+
+#: Strategy for arbitrary reports (as lists of failures, then wrapped —
+#: ShardFailureReport is mutable, so strategies hand out fresh copies).
+_failures = st.lists(
+    st.builds(
+        ShardFailure,
+        shard_id=st.text(min_size=1, max_size=8),
+        site=st.sampled_from(FAULT_SITES),
+        attempts=st.integers(min_value=1, max_value=9),
+        error=st.text(max_size=16),
+    ),
+    max_size=6,
+)
+
+
+class TestShardFailureReport:
+    def test_add_and_introspection(self):
+        report = ShardFailureReport()
+        assert not report
+        assert len(report) == 0
+        report.add(_failure("a"))
+        report.add(_failure("b"))
+        assert report
+        assert len(report) == 2
+        assert report.shard_ids() == ["day:a", "day:b"]
+        assert [f.shard_id for f in report] == ["day:a", "day:b"]
+
+    def test_to_dict_is_json_shaped(self):
+        report = ShardFailureReport([_failure("a", attempts=2)])
+        assert report.to_dict() == [{
+            "shard_id": "day:a", "site": "shard.start",
+            "attempts": 2, "error": "InjectedCrash('a')",
+        }]
+
+    def test_copy_is_independent(self):
+        report = ShardFailureReport([_failure("a")])
+        clone = report.copy()
+        clone.add(_failure("b"))
+        assert len(report) == 1
+        assert len(clone) == 2
+
+    def test_sum_reduces_parts(self):
+        parts = [
+            ShardFailureReport([_failure("a")]),
+            ShardFailureReport(),
+            ShardFailureReport([_failure("b"), _failure("c")]),
+        ]
+        total = sum(parts, ShardFailureReport())
+        assert total.shard_ids() == ["day:a", "day:b", "day:c"]
+        assert len(parts[0]) == 1  # __add__ did not mutate the parts
+
+    @given(_failures)
+    def test_identity(self, failures):
+        report = ShardFailureReport(failures)
+        assert ShardFailureReport() + report == report
+        assert report + ShardFailureReport() == report
+        merged = ShardFailureReport(failures)
+        merged += ShardFailureReport()
+        assert merged == report
+
+    @given(_failures, _failures, _failures)
+    def test_associativity(self, a, b, c):
+        left = (
+            ShardFailureReport(a) + ShardFailureReport(b)
+        ) + ShardFailureReport(c)
+        right = ShardFailureReport(a) + (
+            ShardFailureReport(b) + ShardFailureReport(c)
+        )
+        assert left == right
+
+    @given(_failures, _failures)
+    def test_iadd_matches_add(self, a, b):
+        via_add = ShardFailureReport(a) + ShardFailureReport(b)
+        accumulated = ShardFailureReport(a)
+        accumulated += ShardFailureReport(b)
+        assert accumulated == via_add
+        assert via_add.failures == list(a) + list(b)
+
+    @given(_failures, _failures)
+    def test_merge_returns_self_and_concatenates(self, a, b):
+        report = ShardFailureReport(a)
+        assert report.merge(ShardFailureReport(b)) is report
+        assert report.failures == list(a) + list(b)
