@@ -296,6 +296,89 @@ def test_perf_retry_path_overhead():
     assert overhead < 1.0 + (hits / len(days)) + 0.5
 
 
+def test_perf_checkpoint_overhead_and_resume_speedup(tmp_path):
+    """Cost of the durable run ledger, and what it buys back.
+
+    Two numbers: the per-shard write cost of ``checkpoint=`` on an
+    uninterrupted run (artifact pickle + fsync'd journal line per day
+    shard, reported as absolute overhead and a ratio), and the resume
+    speedup when half the shards are already journaled — a resumed run
+    should approach half the work of a cold one, and must stay
+    byte-equal to it.
+    """
+    from repro.engine import RetryPolicy, simulate_day_records
+    from repro.faults import FaultPlan, FaultRule
+    from repro.runstate import RunCheckpoint, audit_run, run_fingerprint
+    from repro.workload.config import (
+        DEFAULT_BOOSTS,
+        DEFAULT_USER_DAY_BOOST,
+        ScenarioConfig,
+    )
+
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+    config = ScenarioConfig(
+        total_requests=scale,
+        seed=2014,
+        boosts=dict(DEFAULT_BOOSTS),
+        user_day_boost=DEFAULT_USER_DAY_BOOST,
+    )
+    fingerprint = run_fingerprint("bench", seed=config.seed, scale=scale)
+    days = list(config.days)
+
+    start = time.perf_counter()
+    plain = simulate_day_records(config, workers=1)
+    plain_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    journaled = simulate_day_records(
+        config, workers=1,
+        checkpoint=RunCheckpoint(tmp_path / "full", fingerprint),
+    )
+    journaled_seconds = time.perf_counter() - start
+    assert journaled == plain  # the ledger leaves no fingerprint
+
+    # Build a half-complete ledger: crash the first half of the days in
+    # partial mode, so the later (heavier, user-day-boosted) half gets
+    # journaled and resume skips the expensive shards.
+    crash_half = FaultPlan(rules=tuple(
+        FaultRule(site="shard.start", kind="crash", shard_id=f"day:{day}")
+        for day in days[: len(days) // 2]
+    ))
+    simulate_day_records(
+        config, workers=1, allow_partial=True, fault_plan=crash_half,
+        retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+        checkpoint=RunCheckpoint(tmp_path / "half", fingerprint),
+    )
+    half_done = audit_run(tmp_path / "half").completed
+    assert half_done == len(days) - len(days) // 2
+
+    start = time.perf_counter()
+    resumed = simulate_day_records(
+        config, workers=1,
+        checkpoint=RunCheckpoint(tmp_path / "half", fingerprint,
+                                 resume=True),
+    )
+    resumed_seconds = time.perf_counter() - start
+    assert resumed == plain  # resume is byte-equal to a cold run
+
+    total = sum(len(records) for records in plain.values())
+    overhead = journaled_seconds - plain_seconds
+    print(
+        f"\ncheckpoint @ {total:,} records / {len(days)} shards: "
+        f"plain {plain_seconds:.2f}s vs journaled {journaled_seconds:.2f}s "
+        f"({journaled_seconds / plain_seconds:.2f}x, "
+        f"{overhead / len(days) * 1000:.1f} ms/shard write cost); "
+        f"resume with {half_done}/{len(days)} shards done "
+        f"{resumed_seconds:.2f}s ({plain_seconds / resumed_seconds:.2f}x "
+        "vs cold)"
+    )
+    # The ledger writes a few MB per run; anything past 2x would mean
+    # pickling or fsync regressed into the hot path.
+    assert journaled_seconds < plain_seconds * 2.0
+    # Half the shards are loaded, so the resume must beat a cold run.
+    assert resumed_seconds < plain_seconds
+
+
 def test_perf_elff_roundtrip(benchmark):
     records = [
         make_record(cs_host=f"host{i % 50}.com", epoch=1312329600 + i)

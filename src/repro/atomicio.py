@@ -1,0 +1,117 @@
+"""Crash-safe file publication: tmp + ``os.replace`` + fsync.
+
+Every durable artifact in the system — ELFF logs, checkpoint
+artifacts, the run journal, metrics and markdown reports — goes
+through this module, so an interrupted process never leaves a
+truncated file at a final path.  The pattern is the classic one:
+
+1. write the full content to ``<name>.tmp`` in the destination
+   directory (same filesystem, so the rename is atomic);
+2. flush and ``fsync`` the tmp file so the bytes are on disk, not in
+   the page cache, before the name becomes visible;
+3. ``os.replace`` the tmp over the final name — readers see either
+   the old file or the complete new one, never a prefix.
+
+:class:`AtomicTextFile` wraps an incrementally-written text handle
+(plain or gzip) with the same contract: the final path appears only on
+a successful :meth:`close`, and an exception inside the ``with`` block
+discards the tmp file instead of publishing it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def _fsync_path(path: Path) -> None:
+    """Force *path*'s bytes to stable storage (best effort on
+    filesystems that do not support fsync)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def tmp_path_for(path: Path | str) -> Path:
+    """The sibling tmp name ``<name>.tmp`` a write stages through."""
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    """Write *data* to *path* atomically; returns the final path."""
+    path = Path(path)
+    staging = tmp_path_for(path)
+    with open(staging, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+    os.replace(staging, path)
+    return path
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Write *text* (UTF-8) to *path* atomically; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+class AtomicTextFile:
+    """A text writer that publishes its file only on successful close.
+
+    *opener* opens the staging path for writing (``open(p, "w")`` for
+    plain text, a deterministic-gzip writer for ``.gz`` logs); writes
+    stream to ``<name>.tmp``, and :meth:`close` fsyncs and renames the
+    tmp over the final name.  Used as a context manager, an exception
+    inside the block calls :meth:`discard` instead — the final path is
+    never touched, and the tmp file is removed.
+    """
+
+    def __init__(self, path: Path | str, opener=None):
+        self.path = Path(path)
+        self._staging = tmp_path_for(self.path)
+        self._handle = (opener or (lambda p: open(p, "w", newline="")))(
+            self._staging
+        )
+        self._settled = False
+
+    def write(self, text: str) -> int:
+        return self._handle.write(text)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Finish the write and publish the file at its final path."""
+        if self._settled:
+            return
+        self._settled = True
+        self._handle.close()
+        _fsync_path(self._staging)
+        os.replace(self._staging, self.path)
+
+    def discard(self) -> None:
+        """Abandon the write: close and remove the tmp, leaving the
+        final path exactly as it was."""
+        if self._settled:
+            return
+        self._settled = True
+        try:
+            self._handle.close()
+        finally:
+            self._staging.unlink(missing_ok=True)
+
+    def __enter__(self) -> "AtomicTextFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.discard()
+        else:
+            self.close()

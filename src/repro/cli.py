@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the simulate → analyze loop:
+Five subcommands cover the simulate → analyze loop:
 
 ``repro simulate``
     Generate a scenario and write its logs in the leaked ELFF/CSV
@@ -17,6 +17,15 @@ Four subcommands cover the simulate → analyze loop:
 ``repro report``
     Simulate and run the complete paper pipeline, printing the
     condensed report (equivalent to examples/censorship_report.py).
+
+``repro verify-run``
+    Audit a ``--checkpoint-dir`` run ledger offline: manifest,
+    journal, and every artifact's SHA-256.  Exits nonzero on damage.
+
+``simulate``, ``analyze``, and ``report`` accept ``--checkpoint-dir``
+(journal completed shards to a durable run ledger) and ``--resume``
+(load verified completed shards from that ledger instead of re-running
+them) — see the "Durability model" section of docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
@@ -68,12 +77,47 @@ _PARTIAL_HELP = "quarantine shards that still fail after retries and " \
                 "--metrics report)"
 
 
+_CHECKPOINT_HELP = "journal every completed shard to a durable run " \
+                   "ledger in DIR (manifest + fsync'd journal + " \
+                   "checksummed artifacts); a killed run can be " \
+                   "finished later with --resume"
+
+_RESUME_HELP = "continue the run ledger in --checkpoint-dir: verified " \
+               "completed shards are loaded instead of re-run, so the " \
+               "finished output is byte-identical to an uninterrupted " \
+               "run"
+
+
 def _add_resilience_flags(command) -> None:
     """The shared --max-shard-retries / --allow-partial surface."""
     command.add_argument("--max-shard-retries", type=_nonnegative_int,
                          default=None, metavar="N", help=_RETRIES_HELP)
     command.add_argument("--allow-partial", action="store_true",
                          help=_PARTIAL_HELP)
+
+
+def _add_checkpoint_flags(command) -> None:
+    """The shared --checkpoint-dir / --resume surface."""
+    command.add_argument("--checkpoint-dir", type=Path, default=None,
+                         metavar="DIR", help=_CHECKPOINT_HELP)
+    command.add_argument("--resume", action="store_true",
+                         help=_RESUME_HELP)
+
+
+def _checkpoint_for(args: argparse.Namespace, fingerprint):
+    """The RunCheckpoint for a command, or None without
+    --checkpoint-dir.  ``--resume`` alone is a usage error."""
+    directory = getattr(args, "checkpoint_dir", None)
+    if directory is None:
+        if getattr(args, "resume", False):
+            raise SystemExit(
+                "error: --resume requires --checkpoint-dir "
+                "(there is no ledger to resume from)"
+            )
+        return None
+    from repro.runstate import RunCheckpoint
+
+    return RunCheckpoint(directory, fingerprint, resume=args.resume)
 
 
 def _fault_args(args: argparse.Namespace):
@@ -159,6 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--metrics", type=Path, default=None,
                           help=_METRICS_HELP)
     _add_resilience_flags(simulate)
+    _add_checkpoint_flags(simulate)
 
     analyze = commands.add_parser(
         "analyze", help="summarize ELFF logs (Tables 3 and 4)"
@@ -174,6 +219,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--metrics", type=Path, default=None,
                          help=_METRICS_HELP)
     _add_resilience_flags(analyze)
+    _add_checkpoint_flags(analyze)
 
     recover = commands.add_parser(
         "recover", help="recover the filtering policy from ELFF logs"
@@ -193,11 +239,20 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics", type=Path, default=None,
                         help=_METRICS_HELP)
     _add_resilience_flags(report)
+    _add_checkpoint_flags(report)
+
+    verify = commands.add_parser(
+        "verify-run",
+        help="audit a --checkpoint-dir run ledger (exit 1 on damage)",
+    )
+    verify.add_argument("directory", type=Path,
+                        help="the checkpoint directory to audit")
     return parser
 
 
 def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
-                 retry=None, allow_partial=False, failures=None):
+                 retry=None, allow_partial=False, failures=None,
+                 checkpoint=None):
     from repro.engine import load_frames
 
     for path in paths:
@@ -205,7 +260,24 @@ def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
             raise SystemExit(f"error: no such log file: {path}")
     return load_frames(paths, workers=workers, metrics=metrics,
                        retry=retry, allow_partial=allow_partial,
-                       failures=failures)
+                       failures=failures, checkpoint=checkpoint)
+
+
+def _analyze_fingerprint(mode: str, paths: list[Path]):
+    """The analyze fingerprint: the input files *are* the run.
+
+    Paths and byte sizes pin identity — an edited or regrown log file
+    changes its size in practice, and the artifact hashes catch the
+    rest on resume.  ``mode`` separates the streaming and frame
+    pipelines, whose shard results have different shapes.
+    """
+    from repro.runstate import run_fingerprint
+
+    return run_fingerprint(
+        f"analyze-{mode}",
+        logs=[str(path) for path in paths],
+        sizes=[path.stat().st_size for path in paths],
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -222,11 +294,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"(seed {args.seed}{suffix})...")
     metrics, started = _start_metrics(args)
     retry, allow_partial, failures = _fault_args(args)
+    from repro.runstate import config_digest, run_fingerprint
+
+    # The output directory is deliberately not part of the fingerprint:
+    # shard artifacts are buffered sinks, so a resumed run may write the
+    # finished logs anywhere.  The flags that shape the shard results
+    # (grouping and compression) are.
+    checkpoint = _checkpoint_for(args, run_fingerprint(
+        "simulate",
+        config=config_digest(config),
+        per_proxy=args.per_proxy,
+        per_day=args.per_day,
+        compress=args.compress,
+    ))
     for path, count in simulate_to_logs(
         config, args.out,
         per_proxy=args.per_proxy, per_day=args.per_day,
         compress=args.compress, workers=args.workers, metrics=metrics,
         retry=retry, allow_partial=allow_partial, failures=failures,
+        checkpoint=checkpoint,
     ):
         print(f"  wrote {count:>8,} records -> {path}")
     _report_quarantine(failures)
@@ -242,9 +328,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return _analyze_streaming(args)
     metrics, started = _start_metrics(args)
     retry, allow_partial, failures = _fault_args(args)
+    for path in args.logs:
+        if not path.exists():
+            raise SystemExit(f"error: no such log file: {path}")
+    checkpoint = _checkpoint_for(
+        args, _analyze_fingerprint("frames", args.logs)
+    )
     frame = _load_frames(args.logs, workers=args.workers, metrics=metrics,
                          retry=retry, allow_partial=allow_partial,
-                         failures=failures)
+                         failures=failures, checkpoint=checkpoint)
     breakdown = traffic_breakdown(frame)
     print(render_table(
         ["Class", "Requests", "%"],
@@ -289,10 +381,13 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: no such log file: {path}")
     metrics, started = _start_metrics(args)
     retry, allow_partial, failures = _fault_args(args)
+    checkpoint = _checkpoint_for(
+        args, _analyze_fingerprint("streaming", args.logs)
+    )
     acc, stats = analyze_logs(args.logs, workers=args.workers,
                               metrics=metrics, retry=retry,
                               allow_partial=allow_partial,
-                              failures=failures)
+                              failures=failures, checkpoint=checkpoint)
     breakdown = acc.breakdown()
     print(render_table(
         ["Class", "Requests", "%"],
@@ -367,11 +462,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
           "pipeline...")
     metrics, started = _start_metrics(args)
     retry, allow_partial, failures = _fault_args(args)
-    datasets = build_scenario_sharded(ScenarioConfig(
+    from repro.runstate import config_digest, run_fingerprint
+
+    config = ScenarioConfig(
         total_requests=args.requests, seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS),
-    ), workers=args.workers, metrics=metrics, retry=retry,
-        allow_partial=allow_partial, failures=failures)
+    )
+    checkpoint = _checkpoint_for(args, run_fingerprint(
+        "report", config=config_digest(config),
+    ))
+    datasets = build_scenario_sharded(
+        config, workers=args.workers, metrics=metrics, retry=retry,
+        allow_partial=allow_partial, failures=failures,
+        checkpoint=checkpoint)
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")
@@ -381,10 +484,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print("suspected domains:", len(report.table8))
     _report_quarantine(failures)
     if args.markdown is not None:
+        from repro.atomicio import atomic_write_text
         from repro.reporting.markdown import report_to_markdown
 
         args.markdown.parent.mkdir(parents=True, exist_ok=True)
-        args.markdown.write_text(report_to_markdown(
+        atomic_write_text(args.markdown, report_to_markdown(
             report,
             title=f"Censorship report — {args.requests:,} requests, "
                   f"seed {args.seed}",
@@ -395,18 +499,46 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_run(args: argparse.Namespace) -> int:
+    from repro.runstate import audit_run
+
+    audit = audit_run(args.directory)
+    for error in audit.errors:
+        print(f"  error: {error}")
+    for entry in audit.entries:
+        marker = "ok " if entry.status == "ok" else "!! "
+        if entry.status == "pending":
+            marker = ".. "
+        print(f"  {marker}{entry.shard_id:<24} {entry.status:<14} "
+              f"{entry.detail}")
+    pending = sum(1 for e in audit.entries if e.status == "pending")
+    damaged = sum(1 for e in audit.entries if e.damaged)
+    print(f"{audit.directory}: {audit.completed} completed, "
+          f"{pending} pending, {damaged} damaged"
+          + (f", {len(audit.errors)} ledger errors" if audit.errors else ""))
+    return 0 if audit.ok else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "recover": _cmd_recover,
     "report": _cmd_report,
+    "verify-run": _cmd_verify_run,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from repro.runstate import RunStateError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except RunStateError as error:
+        # Fingerprint mismatch, foreign ledger, live lock: refuse
+        # cleanly with the ledger's explanation instead of a traceback.
+        raise SystemExit(f"error: {error}") from error
 
 
 if __name__ == "__main__":

@@ -25,7 +25,10 @@ Every dispatch point accepts a :class:`repro.metrics.MetricsRegistry`
 hot-path counters without perturbing the simulated output, plus a
 :class:`repro.faults.FaultPlan` (``fault_plan=...``, or the
 ``REPRO_FAULT_PLAN`` environment knob) for deterministic chaos
-testing of all of the above.
+testing of all of the above, plus a
+:class:`repro.runstate.RunCheckpoint` (``checkpoint=...``) that
+journals every completed shard to a durable run ledger and, on
+resume, loads verified completed shards instead of re-running them.
 """
 
 from repro.engine.analyze import (

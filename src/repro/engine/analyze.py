@@ -20,6 +20,7 @@ from repro.faults import FaultPlan, ShardFailureReport
 from repro.frame import LogFrame, concat, empty_frame
 from repro.logmodel.elff import ReadStats
 from repro.metrics import MetricsRegistry, current_registry
+from repro.runstate import RunCheckpoint
 from repro.pipeline import (
     ElffSource,
     FrameSink,
@@ -49,6 +50,7 @@ def analyze_logs(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> tuple[StreamingAnalysis, ReadStats]:
     """Map-reduce the streaming analysis over many log files.
 
@@ -71,6 +73,7 @@ def analyze_logs(
         strict=not allow_partial,
         failures=failures,
         fault_plan=fault_plan,
+        checkpoint=checkpoint,
     )
     analysis = StreamingAnalysis()
     stats = ReadStats()
@@ -101,6 +104,7 @@ def load_frames(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> LogFrame:
     """Parallel counterpart of the CLI's frame loader.
 
@@ -118,6 +122,7 @@ def load_frames(
         strict=not allow_partial,
         failures=failures,
         fault_plan=fault_plan,
+        checkpoint=checkpoint,
     )
     frames = [frame for frame in frames if frame is not None]
     if not frames:

@@ -20,7 +20,12 @@ single dispatch point:
   run wrapped in :class:`ShardError` (``strict=True``, the default) or
   is **quarantined** into a
   :class:`~repro.faults.ShardFailure` record while the survivors
-  complete (``strict=False``, partial-results mode).
+  complete (``strict=False``, partial-results mode);
+* with a :class:`~repro.runstate.RunCheckpoint` (``checkpoint=``),
+  every completed shard is persisted to a durable run ledger and a
+  resumed run loads verified completed shards into the merge instead
+  of re-executing them — retries cover transient faults, quarantine
+  covers poisoned shards, and the checkpoint covers process death.
 
 Every shard attempt executes under the active
 :class:`~repro.faults.FaultPlan` (explicit ``fault_plan=`` argument or
@@ -51,6 +56,7 @@ from repro.faults import (
     use_fault_plan,
 )
 from repro.metrics import MetricsRegistry, ShardMetrics, use_registry
+from repro.runstate import RunCheckpoint, ShardArtifact
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -128,13 +134,45 @@ class RetryPolicy:
     @classmethod
     def from_env(cls) -> "RetryPolicy":
         """The default policy, honouring ``REPRO_MAX_SHARD_RETRIES``
-        and ``REPRO_SHARD_TIMEOUT``."""
-        retries_text = os.environ.get("REPRO_MAX_SHARD_RETRIES")
-        timeout_text = os.environ.get("REPRO_SHARD_TIMEOUT")
-        return cls(
-            max_retries=int(retries_text) if retries_text else 2,
-            timeout=float(timeout_text) if timeout_text else None,
+        and ``REPRO_SHARD_TIMEOUT``.
+
+        A malformed value raises a :class:`ValueError` naming the
+        variable and the offending text, never a bare parse traceback.
+        """
+        retries = _env_number(
+            "REPRO_MAX_SHARD_RETRIES", int, "a non-negative integer"
         )
+        timeout = _env_number(
+            "REPRO_SHARD_TIMEOUT", float, "a positive number of seconds"
+        )
+        if retries is not None and retries < 0:
+            raise ValueError(
+                "REPRO_MAX_SHARD_RETRIES must be a non-negative integer, "
+                f"got {os.environ['REPRO_MAX_SHARD_RETRIES']!r}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(
+                "REPRO_SHARD_TIMEOUT must be a positive number of "
+                f"seconds, got {os.environ['REPRO_SHARD_TIMEOUT']!r}"
+            )
+        return cls(
+            max_retries=2 if retries is None else retries,
+            timeout=timeout,
+        )
+
+
+def _env_number(name: str, parse, expected: str):
+    """Parse an optional numeric environment knob with an actionable
+    error: the message names the variable and quotes the bad text."""
+    text = os.environ.get(name)
+    if not text:
+        return None
+    try:
+        return parse(text)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be {expected}, got {text!r}"
+        ) from None
 
 
 def _make_executor(workers: int):
@@ -231,11 +269,30 @@ def _collect_metrics(
     metrics are the only ones counted (no double counting across the
     fallback).  Quarantined shards contribute no metrics and stay
     ``QUARANTINED`` in the result list.
+
+    A :class:`~repro.runstate.ShardArtifact` slot is a shard resumed
+    from a checkpoint ledger: its stored worker registry (when the
+    original run was instrumented) merges in so aggregate counters
+    match an uninterrupted run, its ledger-recorded throughput becomes
+    the :class:`ShardMetrics` row (``worker_pid`` 0 — no process ran
+    it this time), and it counts into ``engine.shards.resumed``.
     """
     results = []
     for label, run in zip(labels, runs):
         if run is QUARANTINED:
             results.append(QUARANTINED)
+            continue
+        if isinstance(run, ShardArtifact):
+            metrics.inc("engine.shards.resumed")
+            if isinstance(run.registry, MetricsRegistry):
+                metrics.merge(run.registry)
+            metrics.add_shard(ShardMetrics(
+                shard_id=label,
+                records=run.records,
+                wall_seconds=run.wall_seconds,
+                worker_pid=0,
+            ))
+            results.append(run.result)
             continue
         metrics.merge(run.registry)
         metrics.add_shard(ShardMetrics(
@@ -288,6 +345,7 @@ def run_sharded(
     strict: bool = True,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> list[R]:
     """Run *task* over every payload, returning results in input order.
 
@@ -319,6 +377,16 @@ def run_sharded(
     a pool that breaks mid-run and falls back to serial counts each
     shard exactly once, and a failed attempt's partial metrics are
     never counted at all.
+
+    A *checkpoint* (:class:`~repro.runstate.RunCheckpoint`) makes the
+    dispatch crash-safe across process death: on start the ledger's
+    fingerprint and shard plan are verified (mismatch refuses the
+    run), every journaled shard whose artifact still hashes clean is
+    loaded into its result slot instead of being dispatched (counted
+    as ``engine.shards.resumed`` when *metrics* is given), and every
+    freshly completed shard is durably recorded — atomic artifact
+    write, then an fsync'd journal line — the moment it settles.
+    Quarantined shards are never recorded; they re-run on resume.
     """
     payloads = list(payloads)
     if workers < 1:
@@ -335,16 +403,70 @@ def run_sharded(
         retry = RetryPolicy.from_env()
     if fault_plan is None:
         fault_plan = plan_from_env()
-    if metrics is not None:
-        runs = _dispatch(
-            _Instrumented(task), payloads, labels, workers, retry,
-            fault_plan, strict, failures, metrics,
+
+    resumed: dict[str, ShardArtifact] = {}
+    record = None
+    if checkpoint is not None:
+        resumed = checkpoint.begin(labels)
+
+        def record(label: str, outcome) -> None:
+            if isinstance(outcome, _ShardRun):
+                checkpoint.record(
+                    label, outcome.result,
+                    records=_shard_records(outcome),
+                    wall_seconds=outcome.wall_seconds,
+                    registry=outcome.registry,
+                )
+                return
+            try:
+                records = len(outcome)  # type: ignore[arg-type]
+            except TypeError:
+                records = 0
+            checkpoint.record(label, outcome, records=records)
+
+    pending = [
+        index for index, label in enumerate(labels)
+        if label not in resumed
+    ]
+    pending_payloads = [payloads[index] for index in pending]
+    pending_labels = [labels[index] for index in pending]
+    try:
+        if metrics is not None:
+            runs = _dispatch(
+                _Instrumented(task), pending_payloads, pending_labels,
+                workers, retry, fault_plan, strict, failures, metrics,
+                record,
+            )
+            return _collect_metrics(
+                metrics, _weave(labels, resumed, runs), labels
+            )
+        results = _dispatch(
+            task, pending_payloads, pending_labels, workers, retry,
+            fault_plan, strict, failures, None, record,
         )
-        return _collect_metrics(metrics, runs, labels)
-    return _dispatch(
-        task, payloads, labels, workers, retry, fault_plan, strict,
-        failures, None,
-    )
+        return [
+            part.result if isinstance(part, ShardArtifact) else part
+            for part in _weave(labels, resumed, results)
+        ]
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def _weave(
+    labels: Sequence[str],
+    resumed: dict[str, ShardArtifact],
+    dispatched: Sequence[Any],
+) -> list:
+    """Interleave resumed artifacts with dispatched results back into
+    full shard order."""
+    if not resumed:
+        return list(dispatched)
+    parts = iter(dispatched)
+    return [
+        resumed[label] if label in resumed else next(parts)
+        for label in labels
+    ]
 
 
 class _PoolBroke(Exception):
@@ -374,12 +496,14 @@ def _dispatch(
     strict: bool,
     failures: ShardFailureReport | None,
     metrics: MetricsRegistry | None,
+    record: Callable[[str, Any], None] | None = None,
 ) -> list[R]:
     """The execution core: serial loop, pool fan-out, or fallback."""
     effective = min(workers, len(payloads))
     if effective <= 1:
         return _run_serial(
-            task, payloads, labels, retry, plan, strict, failures, metrics
+            task, payloads, labels, retry, plan, strict, failures,
+            metrics, record=record,
         )
 
     try:
@@ -387,20 +511,21 @@ def _dispatch(
     except Exception as error:  # no pool available in this environment
         _warn_fallback(f"could not start a {effective}-worker pool ({error!r})")
         return _run_serial(
-            task, payloads, labels, retry, plan, strict, failures, metrics
+            task, payloads, labels, retry, plan, strict, failures,
+            metrics, record=record,
         )
 
     try:
         try:
             return _run_pool(
                 executor, task, payloads, labels, retry, plan, strict,
-                failures, metrics,
+                failures, metrics, record,
             )
         except _PoolBroke as broke:
             _warn_fallback(f"worker pool broke ({broke.error!r})")
             return _run_serial(
                 task, payloads, labels, retry, plan, strict, failures,
-                metrics, originals=broke.originals,
+                metrics, originals=broke.originals, record=record,
             )
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
@@ -416,6 +541,7 @@ def _run_pool(
     strict: bool,
     failures: ShardFailureReport | None,
     metrics: MetricsRegistry | None,
+    record: Callable[[str, Any], None] | None = None,
 ) -> list[R]:
     """Pool fan-out with per-shard retries and timeouts.
 
@@ -423,6 +549,8 @@ def _run_pool(
     consumed in shard order, and a failed shard is re-submitted while
     the later shards keep running.  Any ``BrokenProcessPool`` converts
     to :class:`_PoolBroke` so the caller can degrade to serial.
+    *record* (the checkpoint hook) fires as each shard's result is
+    consumed, so a crash loses only the not-yet-consumed shards.
     """
     from concurrent.futures import TimeoutError as FutureTimeout
     from concurrent.futures.process import BrokenProcessPool
@@ -446,6 +574,8 @@ def _run_pool(
         while True:
             try:
                 results[index] = futures[index].result(timeout=retry.timeout)
+                if record is not None:
+                    record(labels[index], results[index])
                 break
             except BrokenProcessPool as pool_error:
                 raise _PoolBroke(pool_error, dict(originals)) from pool_error
@@ -481,6 +611,7 @@ def _run_serial(
     failures: ShardFailureReport | None,
     metrics: MetricsRegistry | None,
     originals: dict[int, BaseException] | None = None,
+    record: Callable[[str, Any], None] | None = None,
 ) -> list[R]:
     """Serial loop with the same retry/quarantine semantics.
 
@@ -495,9 +626,10 @@ def _run_serial(
         attempt = 0
         while True:
             try:
-                results.append(
-                    _run_attempt(task, payload, label, attempt, plan)
-                )
+                outcome = _run_attempt(task, payload, label, attempt, plan)
+                if record is not None:
+                    record(label, outcome)
+                results.append(outcome)
                 break
             except Exception as error:
                 if attempt < retry.max_retries:

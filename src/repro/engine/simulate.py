@@ -54,6 +54,7 @@ from repro.pipeline import (
     Sink,
 )
 from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.runstate import RunCheckpoint
 from repro.proxy import ProxyFleet
 from repro.timeline import USER_SLICE_DAYS, day_span
 from repro.workload import TrafficGenerator
@@ -149,6 +150,7 @@ def simulate_into(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> tuple[Sink, dict[str, int]]:
     """Run every day shard into fresh copies of *sink* and reduce.
 
@@ -177,6 +179,7 @@ def simulate_into(
         strict=not allow_partial,
         failures=failures,
         fault_plan=fault_plan,
+        checkpoint=checkpoint,
     )
     records_by_day: dict[str, int] = {}
     for shard, part in zip(plan.shards, parts):
@@ -196,6 +199,7 @@ def simulate_day_records(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> dict[str, list[LogRecord]]:
     """Simulate every configured log-day, in day order.
 
@@ -214,6 +218,7 @@ def simulate_day_records(
         strict=not allow_partial,
         failures=failures,
         fault_plan=fault_plan,
+        checkpoint=checkpoint,
     )
     return {
         shard.day: records
@@ -235,6 +240,7 @@ def simulate_to_logs(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> list[tuple[Path, int]]:
     """Simulate and write ELFF logs in one fused pass per shard.
 
@@ -250,7 +256,7 @@ def simulate_to_logs(
     merged, _ = simulate_into(
         config, sink, workers=workers, metrics=metrics, retry=retry,
         allow_partial=allow_partial, failures=failures,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, checkpoint=checkpoint,
     )
     return merged.write_dir(Path(out_dir))
 
@@ -265,6 +271,7 @@ def build_scenario_sharded(
     allow_partial: bool = False,
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> ScenarioDatasets:
     """Sharded counterpart of :func:`repro.datasets.build_scenario`.
 
@@ -283,7 +290,7 @@ def build_scenario_sharded(
     sink, records_by_day = simulate_into(
         config, FrameSink(), workers=workers, metrics=metrics,
         retry=retry, allow_partial=allow_partial, failures=failures,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, checkpoint=checkpoint,
     )
     context = scenario_context(config)
     rng = np.random.default_rng(plan.sampling_seed)

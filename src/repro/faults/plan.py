@@ -31,8 +31,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-#: Fault kinds a rule may inject.
-FAULT_KINDS = ("transient", "crash", "corrupt", "slow")
+#: Fault kinds a rule may inject.  ``kill`` is the only one that does
+#: not raise: it SIGKILLs the executing process outright, which is how
+#: the durability suite produces real process death for
+#: checkpoint/resume tests (``repro.runstate``).
+FAULT_KINDS = ("transient", "crash", "corrupt", "slow", "kill")
 
 #: The named sites the execution core exposes.  Documented here so the
 #: chaos suite and the docs agree on the vocabulary.
@@ -174,6 +177,14 @@ class FaultPlan:
                 if attempt < rule.fail_attempts and rule.delay_seconds > 0:
                     time.sleep(rule.delay_seconds)
                 continue
+            if rule.kind == "kill":
+                # Real process death, not an exception: the worker (or
+                # the serial parent) dies mid-run exactly like an OOM
+                # kill or a lost node, leaving whatever the run ledger
+                # has journaled so far.
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
             if rule.kind == "crash":
                 raise InjectedCrash(site, shard_id, attempt)
             if rule.kind == "corrupt":
@@ -240,6 +251,9 @@ def parse_fault_plan(spec: str) -> FaultPlan:
     Comma-separated ``key=value`` pairs: ``seed=<int>``,
     ``rate=<float>``, ``attempts=<int>`` (how many attempts the rate
     faults poison), ``site=<name>`` (which site rolls the rate; default
+    ``shard.start``), and ``kill=<shard_id>`` (SIGKILL the process the
+    moment that shard starts — how the CI kill-resume step produces
+    real process death; ``kill_site=<name>`` moves it off
     ``shard.start``).  Example::
 
         REPRO_FAULT_PLAN="seed=20260805,rate=0.1"
@@ -248,8 +262,12 @@ def parse_fault_plan(spec: str) -> FaultPlan:
     failure on its first attempt — recovered by the default retry
     budget, so a chaos CI run exercises the injection and retry paths
     while every assertion stays byte-identical.
+
+    A malformed value raises a :class:`ValueError` naming the variable
+    and the offending entry, never a bare parse traceback.
     """
     seed, rate, attempts, site = 0, 0.0, 1, "shard.start"
+    kill_shard, kill_site = None, "shard.start"
     for pair in spec.split(","):
         pair = pair.strip()
         if not pair:
@@ -265,6 +283,12 @@ def parse_fault_plan(spec: str) -> FaultPlan:
                 attempts = int(value)
             elif key == "site":
                 site = value
+            elif key == "kill":
+                if not value:
+                    raise ValueError("kill needs a shard id")
+                kill_shard = value
+            elif key == "kill_site":
+                kill_site = value
             else:
                 raise ValueError(f"unknown key {key!r}")
         except ValueError as error:
@@ -273,8 +297,11 @@ def parse_fault_plan(spec: str) -> FaultPlan:
             ) from None
     if not 0.0 <= rate <= 1.0:
         raise ValueError(f"REPRO_FAULT_PLAN rate must be in [0, 1], got {rate}")
-    return FaultPlan(seed=seed, rate=rate, rate_attempts=attempts,
-                     rate_site=site)
+    rules: tuple[FaultRule, ...] = ()
+    if kill_shard is not None:
+        rules = (FaultRule(site=kill_site, kind="kill", shard_id=kill_shard),)
+    return FaultPlan(rules=rules, seed=seed, rate=rate,
+                     rate_attempts=attempts, rate_site=site)
 
 
 def plan_from_env() -> FaultPlan | None:

@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.atomicio import AtomicTextFile
 from repro.faults import fault_point
 from repro.logmodel.fields import FIELDS
 from repro.logmodel.record import LogRecord
@@ -83,10 +84,16 @@ class _GzipTextWriter:
 
 
 def open_log_writer(path: Path | str):
-    """Open *path* for ELFF text writing (gzip-transparent)."""
+    """Open *path* for crash-safe ELFF text writing (gzip-transparent).
+
+    Writes stream to a ``<name>.tmp`` sibling and only an explicit,
+    successful close publishes the final path (fsync + ``os.replace``)
+    — a process dying mid-write leaves no truncated log behind, which
+    is what lets checkpoint/resume trust any log file that exists.
+    """
     if is_gzip_path(path):
-        return _GzipTextWriter(path)
-    return open(path, "w", newline="")
+        return AtomicTextFile(path, opener=_GzipTextWriter)
+    return AtomicTextFile(path)
 
 
 def open_log_reader(path: Path | str):

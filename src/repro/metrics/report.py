@@ -1,7 +1,7 @@
 """Exporting a :class:`~repro.metrics.registry.MetricsRegistry`.
 
 Two consumers: ``--metrics PATH`` writes the JSON document described in
-``docs/CLI.md`` (schema ``repro.metrics/1``), and the Markdown report
+``docs/CLI.md`` (schema ``repro.metrics/3``), and the Markdown report
 embeds the human-readable summary section.
 """
 
@@ -10,11 +10,14 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.atomicio import atomic_write_text
 from repro.metrics.registry import MetricsRegistry
 
 #: Version tag of the JSON metrics document.  Bumped to /2 when the
-#: quarantined-shard ``failures`` array joined the schema.
-METRICS_SCHEMA = "repro.metrics/2"
+#: quarantined-shard ``failures`` array joined the schema, and to /3
+#: when checkpoint/resume added ``totals.resumed_shards`` (shards
+#: loaded from a run ledger instead of executed).
+METRICS_SCHEMA = "repro.metrics/3"
 
 
 def metrics_report(
@@ -33,6 +36,7 @@ def metrics_report(
         "shard_wall_seconds": shard_wall,
         "records_per_sec": records / shard_wall if shard_wall > 0 else 0.0,
         "quarantined_shards": len(registry.failures),
+        "resumed_shards": registry.counters.get("engine.shards.resumed", 0),
     }
     document = {
         "schema": METRICS_SCHEMA,
@@ -63,7 +67,7 @@ def write_metrics_report(
         workers=workers,
         wall_seconds=wall_seconds,
     )
-    destination.write_text(json.dumps(document, indent=2) + "\n")
+    atomic_write_text(destination, json.dumps(document, indent=2) + "\n")
     return destination
 
 

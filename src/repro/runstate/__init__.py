@@ -1,0 +1,52 @@
+"""Durable run state: crash-safe checkpoint/resume for sharded runs.
+
+PR 4's resilience layer keeps a run alive through *in-process* faults
+(retries, quarantine, corrupted reads); this package covers the
+failure those cannot: the process itself dying mid-run.  A checkpoint
+directory holds an atomic, checksummed run ledger — manifest
+(fingerprint + shard plan), an append-only fsync'd journal, and one
+pickled artifact per completed shard — and
+``run_sharded(checkpoint=...)`` loads verified completed shards into
+the merge instead of re-running them.  Because every shard replays a
+deterministic stream and every sink round-trips through pickle, a
+killed-and-resumed run produces byte-identical output to an
+uninterrupted one.
+
+The CLI surface is ``--checkpoint-dir``/``--resume`` on
+``simulate``/``analyze``/``report`` and ``repro verify-run DIR``
+(:func:`audit_run`) for offline integrity checks.
+"""
+
+from repro.runstate.ledger import (
+    LEDGER_SCHEMA,
+    CheckpointLocked,
+    FingerprintMismatch,
+    LedgerExists,
+    RunAudit,
+    RunCheckpoint,
+    RunStateError,
+    ShardArtifact,
+    ShardAuditEntry,
+    artifact_name,
+    audit_run,
+    config_digest,
+    read_journal,
+    run_fingerprint,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "CheckpointLocked",
+    "FingerprintMismatch",
+    "LedgerExists",
+    "RunAudit",
+    "RunCheckpoint",
+    "RunStateError",
+    "ShardArtifact",
+    "ShardAuditEntry",
+    "artifact_name",
+    "audit_run",
+    "config_digest",
+    "read_journal",
+    "run_fingerprint",
+]

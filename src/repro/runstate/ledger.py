@@ -1,0 +1,523 @@
+"""The durable run ledger: manifest, journal, artifacts, lock.
+
+A checkpoint directory makes a sharded run survive process death.  Its
+layout:
+
+``MANIFEST.json``
+    The run's identity, written atomically when the ledger is first
+    opened: ledger schema version, the caller's *fingerprint* (seed,
+    request volume, config digest, command — whatever determines the
+    shard results), and the shard plan (the ordered shard labels).  A
+    resume whose fingerprint or plan differs is refused: a ledger only
+    ever completes the run it was started for.
+
+``journal.jsonl``
+    Append-only, fsync'd after every line.  One JSON object per
+    completed shard: the shard label, the artifact's relative path,
+    its SHA-256, and the shard's record count and wall time.  A crash
+    can tear at most the final line, which the reader skips; a shard
+    re-recorded by a later attempt simply appends again (last entry
+    wins).
+
+``artifacts/<label-slug>-<hash8>.pkl``
+    One pickled :class:`ShardArtifact` per completed shard, written
+    via tmp + ``os.replace`` + fsync, so an artifact either exists in
+    full or not at all.  The journal's SHA-256 is over these exact
+    bytes; resume re-hashes before trusting them, and a tampered or
+    truncated artifact is treated as not-done and re-run.
+
+``LOCK``
+    Holds the owning pid.  A second run on the same directory is
+    refused while the owner is alive; a lock whose pid is dead is
+    stale and silently reclaimed.
+
+:class:`RunCheckpoint` is the engine-facing object
+(``run_sharded(checkpoint=...)``): :meth:`begin` verifies the
+fingerprint and returns the verified completed shards, :meth:`record`
+persists one freshly completed shard, :meth:`close` releases the
+lock.  :func:`audit_run` is the read-only integrity check behind
+``repro verify-run``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.atomicio import atomic_write_bytes, atomic_write_text
+
+#: Version tag of the ledger layout; a manifest with a different tag
+#: is refused rather than misread.
+LEDGER_SCHEMA = "repro.runstate/1"
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.jsonl"
+ARTIFACT_DIR = "artifacts"
+LOCK_NAME = "LOCK"
+
+#: Pickle protocol pinned so artifact bytes (and their recorded
+#: hashes) do not depend on the writing interpreter's default.
+PICKLE_PROTOCOL = 4
+
+
+class RunStateError(RuntimeError):
+    """Base class for checkpoint/ledger failures."""
+
+
+class FingerprintMismatch(RunStateError):
+    """The ledger was started for a different run than this one."""
+
+
+class CheckpointLocked(RunStateError):
+    """Another live process owns this checkpoint directory."""
+
+
+class LedgerExists(RunStateError):
+    """The directory already holds a ledger and resume was not
+    requested."""
+
+
+@dataclass
+class ShardArtifact:
+    """What the ledger persists for one completed shard.
+
+    ``result`` is the shard's merge-ready value (a pipeline sink, a
+    ``(StreamingAnalysis, ReadStats)`` pair, a frame — whatever the
+    task returned); ``registry`` carries the shard's worker-local
+    metrics when the run was instrumented, so a resumed run's
+    aggregate counters match an uninterrupted one.
+    """
+
+    result: Any
+    records: int = 0
+    wall_seconds: float = 0.0
+    registry: Any = None
+
+
+def _canonical(value):
+    """JSON-normalize *value* so fingerprints compare structurally
+    (tuples become lists, keys sort)."""
+    return json.loads(json.dumps(value, sort_keys=True, default=str))
+
+
+def config_digest(config) -> str:
+    """A stable SHA-256 over a dataclass config's full field set."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_fingerprint(command: str, **facets) -> dict:
+    """Assemble a fingerprint dict for :class:`RunCheckpoint`.
+
+    *facets* are whatever determines the shard results: the config
+    digest and seed for simulate/report, the input paths and sizes for
+    analyze.  The shard plan itself is recorded separately at
+    :meth:`RunCheckpoint.begin`.
+    """
+    return _canonical({"command": command, **facets})
+
+
+def artifact_name(label: str) -> str:
+    """The artifact filename for a shard label.
+
+    Labels contain ``:`` and arbitrary file-name characters; the slug
+    keeps them readable and the label-hash suffix keeps distinct
+    labels collision-free.
+    """
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", label).strip("_") or "shard"
+    token = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
+    return f"{slug}-{token}.pkl"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def read_journal(path: Path) -> dict[str, dict]:
+    """Parse the journal into ``{shard_id: entry}``, last entry wins.
+
+    A torn final line (the one write a crash can interrupt) and any
+    malformed line are skipped rather than fatal — the artifacts they
+    would have pointed at simply count as not-done.
+    """
+    entries: dict[str, dict] = {}
+    if not path.exists():
+        return entries
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        shard_id = entry.get("shard_id")
+        if isinstance(shard_id, str) and "artifact" in entry:
+            entries[shard_id] = entry
+    return entries
+
+
+class RunCheckpoint:
+    """Durable checkpoint/resume for one :func:`run_sharded` dispatch.
+
+    Construct with the checkpoint *directory* and the run's
+    *fingerprint* (see :func:`run_fingerprint`).  ``resume=False``
+    (the default) starts a fresh ledger and refuses a directory that
+    already holds one; ``resume=True`` verifies the existing ledger's
+    fingerprint and shard plan against this run and loads every
+    journaled shard whose artifact still hashes clean.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        fingerprint: Mapping,
+        *,
+        resume: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.fingerprint = _canonical(dict(fingerprint))
+        self.resume = resume
+        self._journal_handle = None
+        self._locked = False
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    @property
+    def lock_path(self) -> Path:
+        return self.directory / LOCK_NAME
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.directory / ARTIFACT_DIR
+
+    # -- the lockfile ------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None:
+                    raise CheckpointLocked(
+                        f"checkpoint directory {self.directory} is in use "
+                        f"by pid {owner} (lockfile {self.lock_path}); "
+                        "refusing a concurrent run"
+                    ) from None
+                # Stale lock: the recorded pid is gone (that is the
+                # crash this module exists for) — reclaim it.
+                self.lock_path.unlink(missing_ok=True)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            self._locked = True
+            return
+
+    def _lock_owner(self) -> int | None:
+        """The live pid holding the lock, or None if the lock is
+        stale/unreadable."""
+        try:
+            pid = int(self.lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, OverflowError):
+            # No such process (or a pid no real process could have):
+            # the lock is stale.
+            return None
+        except PermissionError:
+            pass  # alive, just not ours to signal
+        return pid
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, labels: Sequence[str]) -> dict[str, ShardArtifact]:
+        """Open the ledger for a run over *labels*.
+
+        Acquires the lock, writes or verifies the manifest, and
+        returns the verified completed shards as ``{label:
+        ShardArtifact}`` — empty for a fresh run.  Raises
+        :class:`FingerprintMismatch` when the existing ledger belongs
+        to a different run, :class:`LedgerExists` when the directory
+        already holds a ledger and ``resume`` was not requested, and
+        :class:`CheckpointLocked` on a live concurrent run.
+        """
+        labels = [str(label) for label in labels]
+        if len(set(labels)) != len(labels):
+            raise RunStateError(
+                "checkpointing requires unique shard labels; got "
+                f"duplicates in {labels!r}"
+            )
+        self._acquire_lock()
+        try:
+            if self.manifest_path.exists():
+                if not self.resume:
+                    raise LedgerExists(
+                        f"{self.directory} already holds a run ledger; "
+                        "pass --resume to continue it or choose a fresh "
+                        "--checkpoint-dir"
+                    )
+                self._verify_manifest(labels)
+                return self._load_verified(labels)
+            self._write_manifest(labels)
+            return {}
+        except BaseException:
+            self.close()
+            raise
+
+    def _write_manifest(self, labels: list[str]) -> None:
+        manifest = {
+            "schema": LEDGER_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "shards": labels,
+        }
+        atomic_write_text(
+            self.manifest_path, json.dumps(manifest, indent=2) + "\n"
+        )
+
+    def _verify_manifest(self, labels: list[str]) -> None:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise RunStateError(
+                f"unreadable run manifest {self.manifest_path}: {error}"
+            ) from error
+        if manifest.get("schema") != LEDGER_SCHEMA:
+            raise FingerprintMismatch(
+                f"{self.directory} uses ledger schema "
+                f"{manifest.get('schema')!r}, this build writes "
+                f"{LEDGER_SCHEMA!r}"
+            )
+        stored = manifest.get("fingerprint")
+        if stored != self.fingerprint:
+            diff = sorted(
+                key
+                for key in set(stored or {}) | set(self.fingerprint)
+                if (stored or {}).get(key) != self.fingerprint.get(key)
+            )
+            raise FingerprintMismatch(
+                f"{self.directory} belongs to a different run — "
+                f"fingerprint differs on {diff}: ledger has "
+                f"{ {k: (stored or {}).get(k) for k in diff} }, this run "
+                f"has { {k: self.fingerprint.get(k) for k in diff} }"
+            )
+        if manifest.get("shards") != labels:
+            raise FingerprintMismatch(
+                f"{self.directory} was planned over "
+                f"{manifest.get('shards')!r}, this run shards into "
+                f"{labels!r}"
+            )
+
+    def _load_verified(self, labels: list[str]) -> dict[str, ShardArtifact]:
+        wanted = set(labels)
+        loaded: dict[str, ShardArtifact] = {}
+        for shard_id, entry in read_journal(self.journal_path).items():
+            if shard_id not in wanted:
+                continue
+            artifact = self._read_artifact(entry)
+            if artifact is not None:
+                loaded[shard_id] = artifact
+        return loaded
+
+    def _read_artifact(self, entry: dict) -> ShardArtifact | None:
+        """Load one journaled artifact, or None if it fails
+        verification (missing, hash mismatch, unpicklable)."""
+        path = self.directory / entry["artifact"]
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if _sha256(data) != entry.get("sha256"):
+            return None
+        try:
+            artifact = pickle.loads(data)
+        except Exception:
+            return None
+        if not isinstance(artifact, ShardArtifact):
+            return None
+        return artifact
+
+    def record(
+        self,
+        label: str,
+        result,
+        *,
+        records: int = 0,
+        wall_seconds: float = 0.0,
+        registry=None,
+    ) -> None:
+        """Persist one completed shard: atomic artifact, then a
+        fsync'd journal line pointing at it.
+
+        Ordering is the durability argument: the artifact is fully on
+        disk (tmp + replace + fsync) before the journal names it, so a
+        journal entry always points at complete bytes, and a crash
+        between the two merely re-runs one shard.
+        """
+        artifact = ShardArtifact(
+            result=result,
+            records=records,
+            wall_seconds=wall_seconds,
+            registry=registry,
+        )
+        data = pickle.dumps(artifact, protocol=PICKLE_PROTOCOL)
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        relative = f"{ARTIFACT_DIR}/{artifact_name(label)}"
+        atomic_write_bytes(self.directory / relative, data)
+        entry = {
+            "shard_id": label,
+            "artifact": relative,
+            "sha256": _sha256(data),
+            "records": records,
+            "wall_seconds": wall_seconds,
+        }
+        if self._journal_handle is None:
+            self._journal_handle = open(
+                self.journal_path, "a", encoding="utf-8"
+            )
+        self._journal_handle.write(json.dumps(entry) + "\n")
+        self._journal_handle.flush()
+        try:
+            os.fsync(self._journal_handle.fileno())
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Release the lock and the journal handle (idempotent)."""
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None
+        if self._locked:
+            self.lock_path.unlink(missing_ok=True)
+            self._locked = False
+
+    def __enter__(self) -> "RunCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the read-only audit (repro verify-run) ----------------------------------
+
+@dataclass
+class ShardAuditEntry:
+    """One shard's verdict in a ledger audit."""
+
+    shard_id: str
+    status: str  # "ok" | "pending" | "missing" | "hash-mismatch" | "unreadable"
+    detail: str = ""
+
+    @property
+    def damaged(self) -> bool:
+        return self.status in ("missing", "hash-mismatch", "unreadable")
+
+
+@dataclass
+class RunAudit:
+    """The full result of auditing one checkpoint directory."""
+
+    directory: Path
+    errors: list[str] = field(default_factory=list)
+    entries: list[ShardAuditEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the ledger is readable and undamaged (pending
+        shards are not damage — they are simply not done yet)."""
+        return not self.errors and not any(
+            entry.damaged for entry in self.entries
+        )
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for entry in self.entries if entry.status == "ok")
+
+
+def audit_run(directory: Path | str) -> RunAudit:
+    """Audit a checkpoint directory: manifest readability, journal
+    integrity, and every journaled artifact's SHA-256.
+
+    Never mutates the directory.  Shards planned in the manifest but
+    absent from the journal report as ``pending``; a journal entry
+    whose artifact is missing, fails its hash, or does not unpickle
+    reports as damage.
+    """
+    directory = Path(directory)
+    audit = RunAudit(directory=directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        audit.errors.append(f"unreadable manifest {manifest_path}: {error}")
+        return audit
+    if manifest.get("schema") != LEDGER_SCHEMA:
+        audit.errors.append(
+            f"unknown ledger schema {manifest.get('schema')!r} "
+            f"(expected {LEDGER_SCHEMA!r})"
+        )
+        return audit
+    planned = manifest.get("shards") or []
+    journal = read_journal(directory / JOURNAL_NAME)
+    for shard_id in planned:
+        entry = journal.pop(shard_id, None)
+        audit.entries.append(_audit_entry(directory, shard_id, entry))
+    for shard_id, entry in journal.items():  # journaled but unplanned
+        checked = _audit_entry(directory, shard_id, entry)
+        checked.detail = (checked.detail + " (not in the shard plan)").strip()
+        audit.entries.append(checked)
+    return audit
+
+
+def _audit_entry(
+    directory: Path, shard_id: str, entry: dict | None
+) -> ShardAuditEntry:
+    if entry is None:
+        return ShardAuditEntry(shard_id, "pending", "no journal entry")
+    path = directory / entry["artifact"]
+    try:
+        data = path.read_bytes()
+    except OSError as error:
+        return ShardAuditEntry(shard_id, "missing", str(error))
+    digest = _sha256(data)
+    if digest != entry.get("sha256"):
+        return ShardAuditEntry(
+            shard_id,
+            "hash-mismatch",
+            f"journal records {str(entry.get('sha256'))[:12]}…, "
+            f"artifact hashes {digest[:12]}…",
+        )
+    try:
+        artifact = pickle.loads(data)
+    except Exception as error:
+        return ShardAuditEntry(shard_id, "unreadable", repr(error))
+    if not isinstance(artifact, ShardArtifact):
+        return ShardAuditEntry(
+            shard_id, "unreadable", f"not a ShardArtifact: {type(artifact)}"
+        )
+    return ShardAuditEntry(
+        shard_id, "ok", f"{artifact.records} records, sha256 {digest[:12]}…"
+    )

@@ -1,0 +1,125 @@
+"""Crash-safety tests for atomic file publication (repro.atomicio).
+
+The contract under test: a final path either holds the complete old
+content or the complete new content — an interrupted write never
+leaves a truncated file there, for plain text, gzip ELFF logs, the
+--metrics JSON report, and the --markdown report alike.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.atomicio import (
+    AtomicTextFile,
+    atomic_write_bytes,
+    atomic_write_text,
+    tmp_path_for,
+)
+from repro.logmodel.elff import open_log_writer, read_log, write_log
+from tests.helpers import make_record
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_cleans_staging(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, "hello") == target
+        assert target.read_text() == "hello"
+        assert not tmp_path_for(target).exists()
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_text() == "new"
+
+    def test_tmp_path_is_a_sibling(self, tmp_path):
+        staged = tmp_path_for(tmp_path / "deep" / "file.log")
+        assert staged.name == "file.log.tmp"
+        assert staged.parent == tmp_path / "deep"
+
+
+class TestAtomicTextFile:
+    def test_publishes_only_on_close(self, tmp_path):
+        target = tmp_path / "file.txt"
+        writer = AtomicTextFile(target)
+        writer.write("body\n")
+        writer.flush()
+        assert not target.exists()  # still staged
+        writer.close()
+        assert target.read_text() == "body\n"
+        assert not tmp_path_for(target).exists()
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = AtomicTextFile(tmp_path / "file.txt")
+        writer.write("x")
+        writer.close()
+        writer.close()
+        assert (tmp_path / "file.txt").read_text() == "x"
+
+    def test_exception_discards_without_touching_final_path(self, tmp_path):
+        target = tmp_path / "file.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with AtomicTextFile(target) as writer:
+                writer.write("half a replacem")
+                raise RuntimeError("interrupted")
+        assert target.read_text() == "precious"
+        assert not tmp_path_for(target).exists()
+
+
+class TestCrashSafeLogWriter:
+    """open_log_writer must never leave a partial final log file."""
+
+    @pytest.mark.parametrize("name", ["out.log", "out.log.gz"])
+    def test_midwrite_exception_leaves_no_final_file(self, tmp_path, name):
+        target = tmp_path / name
+        with pytest.raises(RuntimeError):
+            with open_log_writer(target) as handle:
+                handle.write("#Software: SGOS\n")
+                handle.write("truncated,row,with,no,newl")
+                raise RuntimeError("process dies here")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # tmp removed too
+
+    @pytest.mark.parametrize("name", ["out.log", "out.log.gz"])
+    def test_successful_write_round_trips(self, tmp_path, name):
+        records = [make_record(cs_uri_path=f"/p{i}") for i in range(25)]
+        target = tmp_path / name
+        count = write_log(records, target)
+        assert count == 25
+        assert list(read_log(target)) == records
+
+    def test_gzip_output_is_deterministic(self, tmp_path):
+        records = [make_record(cs_uri_path=f"/p{i}") for i in range(10)]
+        write_log(records, tmp_path / "a.log.gz")
+        write_log(records, tmp_path / "b.log.gz")
+        assert (tmp_path / "a.log.gz").read_bytes() == (
+            tmp_path / "b.log.gz"
+        ).read_bytes()
+        with gzip.open(tmp_path / "a.log.gz", "rt") as handle:
+            assert handle.readline().startswith("#Software:")
+
+
+class TestAtomicReports:
+    def test_metrics_report_leaves_no_staging_file(self, tmp_path):
+        from repro.metrics import MetricsRegistry, write_metrics_report
+
+        path = write_metrics_report(
+            tmp_path / "metrics.json", MetricsRegistry(), command="simulate"
+        )
+        assert path.exists()
+        assert not tmp_path_for(path).exists()
+
+    def test_markdown_report_leaves_no_staging_file(self, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        assert main([
+            "report", "--requests", "4000", "--seed", "11",
+            "--markdown", str(target),
+        ]) == 0
+        assert target.read_text().startswith("# Censorship report")
+        assert not tmp_path_for(target).exists()

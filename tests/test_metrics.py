@@ -234,6 +234,7 @@ class TestExport:
             "shard_wall_seconds": 2.0,
             "records_per_sec": 50.0,
             "quarantined_shards": 0,
+            "resumed_shards": 0,
         }
         assert document["counters"]["fleet.requests"] == 100
         assert document["timers"]["analysis.consume_seconds"]["count"] == 1
