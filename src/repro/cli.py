@@ -77,6 +77,11 @@ _PARTIAL_HELP = "quarantine shards that still fail after retries and " \
                 "--metrics report)"
 
 
+_BATCH_HELP = "process records in column batches of N rows " \
+              "(vectorized parse/classify/fold hot paths; output is " \
+              "byte-identical to the default record-at-a-time mode " \
+              "at every batch size and worker count)"
+
 _CHECKPOINT_HELP = "journal every completed shard to a durable run " \
                    "ledger in DIR (manifest + fsync'd journal + " \
                    "checksummed artifacts); a killed run can be " \
@@ -102,6 +107,12 @@ def _add_checkpoint_flags(command) -> None:
                          metavar="DIR", help=_CHECKPOINT_HELP)
     command.add_argument("--resume", action="store_true",
                          help=_RESUME_HELP)
+
+
+def _add_batch_flag(command) -> None:
+    """The shared --batch-size surface (column-batch execution)."""
+    command.add_argument("--batch-size", type=_positive_int, default=None,
+                         metavar="N", help=_BATCH_HELP)
 
 
 def _checkpoint_for(args: argparse.Namespace, fingerprint):
@@ -204,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=_METRICS_HELP)
     _add_resilience_flags(simulate)
     _add_checkpoint_flags(simulate)
+    _add_batch_flag(simulate)
 
     analyze = commands.add_parser(
         "analyze", help="summarize ELFF logs (Tables 3 and 4)"
@@ -220,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=_METRICS_HELP)
     _add_resilience_flags(analyze)
     _add_checkpoint_flags(analyze)
+    _add_batch_flag(analyze)
 
     recover = commands.add_parser(
         "recover", help="recover the filtering policy from ELFF logs"
@@ -240,6 +253,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=_METRICS_HELP)
     _add_resilience_flags(report)
     _add_checkpoint_flags(report)
+    _add_batch_flag(report)
 
     verify = commands.add_parser(
         "verify-run",
@@ -252,7 +266,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
                  retry=None, allow_partial=False, failures=None,
-                 checkpoint=None):
+                 checkpoint=None, batch_size=None):
     from repro.engine import load_frames
 
     for path in paths:
@@ -260,7 +274,8 @@ def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
             raise SystemExit(f"error: no such log file: {path}")
     return load_frames(paths, workers=workers, metrics=metrics,
                        retry=retry, allow_partial=allow_partial,
-                       failures=failures, checkpoint=checkpoint)
+                       failures=failures, checkpoint=checkpoint,
+                       batch_size=batch_size)
 
 
 def _analyze_fingerprint(mode: str, paths: list[Path]):
@@ -312,7 +327,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         per_proxy=args.per_proxy, per_day=args.per_day,
         compress=args.compress, workers=args.workers, metrics=metrics,
         retry=retry, allow_partial=allow_partial, failures=failures,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, batch_size=args.batch_size,
     ):
         print(f"  wrote {count:>8,} records -> {path}")
     _report_quarantine(failures)
@@ -336,7 +351,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     frame = _load_frames(args.logs, workers=args.workers, metrics=metrics,
                          retry=retry, allow_partial=allow_partial,
-                         failures=failures, checkpoint=checkpoint)
+                         failures=failures, checkpoint=checkpoint,
+                         batch_size=args.batch_size)
     breakdown = traffic_breakdown(frame)
     print(render_table(
         ["Class", "Requests", "%"],
@@ -387,7 +403,8 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
     acc, stats = analyze_logs(args.logs, workers=args.workers,
                               metrics=metrics, retry=retry,
                               allow_partial=allow_partial,
-                              failures=failures, checkpoint=checkpoint)
+                              failures=failures, checkpoint=checkpoint,
+                              batch_size=args.batch_size)
     breakdown = acc.breakdown()
     print(render_table(
         ["Class", "Requests", "%"],
@@ -474,7 +491,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     datasets = build_scenario_sharded(
         config, workers=args.workers, metrics=metrics, retry=retry,
         allow_partial=allow_partial, failures=failures,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, batch_size=args.batch_size)
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")

@@ -12,6 +12,7 @@ read of the same files at every worker count.
 
 from __future__ import annotations
 
+from functools import partial
 from pathlib import Path
 
 from repro.analysis.streaming import StreamingAnalysis
@@ -29,12 +30,22 @@ from repro.pipeline import (
 )
 
 
-def analyze_shard(path: str) -> tuple[StreamingAnalysis, ReadStats]:
-    """Stream one log file into a fresh accumulator."""
+def analyze_shard(
+    path: str, batch_size: int | None = None
+) -> tuple[StreamingAnalysis, ReadStats]:
+    """Stream one log file into a fresh accumulator.
+
+    With a *batch_size* the pass runs in column-batch mode
+    (vectorized parse and counter folds); the accumulator state is
+    identical either way.
+    """
     stats = ReadStats()
-    sink = Pipeline(ElffSource(path, lenient=True, stats=stats)).run(
-        StreamingAnalysisSink()
-    )
+    pipeline = Pipeline(ElffSource(path, lenient=True, stats=stats))
+    sink = StreamingAnalysisSink()
+    if batch_size is None:
+        pipeline.run(sink)
+    else:
+        pipeline.run_batched(sink, batch_size)
     registry = current_registry()
     if registry is not None:
         registry.inc("shard.records", stats.records)
@@ -51,6 +62,7 @@ def analyze_logs(
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
     checkpoint: RunCheckpoint | None = None,
+    batch_size: int | None = None,
 ) -> tuple[StreamingAnalysis, ReadStats]:
     """Map-reduce the streaming analysis over many log files.
 
@@ -62,9 +74,19 @@ def analyze_logs(
     With ``allow_partial=True`` a file shard that fails every retry is
     quarantined (reported via *failures*/*metrics*) and the merged
     accumulator equals a fault-free run over the surviving files.
+
+    *batch_size* switches workers to column-batch execution.  It is
+    an execution strategy, not part of the run's identity: results are
+    identical at every batch size, and a checkpointed run may resume
+    under a different one (the ledger fingerprint ignores it).
     """
+    task = (
+        analyze_shard
+        if batch_size is None
+        else partial(analyze_shard, batch_size=batch_size)
+    )
     parts = run_sharded(
-        analyze_shard,
+        task,
         [str(path) for path in paths],
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],
@@ -86,9 +108,15 @@ def analyze_logs(
     return analysis, stats
 
 
-def load_frame_shard(path: str) -> LogFrame:
+def load_frame_shard(path: str, batch_size: int | None = None) -> LogFrame:
     """Load one log file into a columnar frame (strict read)."""
-    frame = Pipeline(ElffSource(path)).run(FrameSink()).frame()
+    pipeline = Pipeline(ElffSource(path))
+    sink = FrameSink()
+    if batch_size is None:
+        pipeline.run(sink)
+    else:
+        pipeline.run_batched(sink, batch_size)
+    frame = sink.frame()
     registry = current_registry()
     if registry is not None:
         registry.inc("shard.records", len(frame))
@@ -105,15 +133,23 @@ def load_frames(
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
     checkpoint: RunCheckpoint | None = None,
+    batch_size: int | None = None,
 ) -> LogFrame:
     """Parallel counterpart of the CLI's frame loader.
 
     An empty *paths* list yields the zero-row frame with the standard
     columns (it used to raise ``IndexError``); in partial mode the
     frame is the concatenation of the surviving files only.
+    *batch_size* switches workers to column-batch execution (same
+    frame, faster parse).
     """
+    task = (
+        load_frame_shard
+        if batch_size is None
+        else partial(load_frame_shard, batch_size=batch_size)
+    )
     frames = run_sharded(
-        load_frame_shard,
+        task,
         [str(path) for path in paths],
         workers=workers,
         labels=[f"log:{Path(path).name}" for path in paths],

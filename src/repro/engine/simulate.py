@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -122,10 +123,23 @@ def day_pipeline(
 
 def simulate_sink_shard(
     payload: tuple[ScenarioConfig, str, np.random.SeedSequence, Sink],
+    batch_size: int | None = None,
 ) -> Sink:
-    """Run one log-day pipeline into a fresh copy of the payload sink."""
+    """Run one log-day pipeline into a fresh copy of the payload sink.
+
+    With a *batch_size* the pass runs in column-batch mode: the fleet
+    stage still draws its rng record-at-a-time (so the random stream is
+    untouched), the anonymize stage and the sink fold columns.  The
+    shipped sink state — and therefore every output byte — is identical
+    either way.
+    """
     config, day, seed, prototype = payload
-    sink = day_pipeline(config, day, seed).run(prototype.fresh())
+    pipeline = day_pipeline(config, day, seed)
+    sink = prototype.fresh()
+    if batch_size is None:
+        pipeline.run(sink)
+    else:
+        pipeline.run_batched(sink, batch_size)
     registry = current_registry()
     if registry is not None:
         registry.inc("shard.records", len(sink))
@@ -151,6 +165,7 @@ def simulate_into(
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
     checkpoint: RunCheckpoint | None = None,
+    batch_size: int | None = None,
 ) -> tuple[Sink, dict[str, int]]:
     """Run every day shard into fresh copies of *sink* and reduce.
 
@@ -167,10 +182,19 @@ def simulate_into(
     quarantined (reported via *failures*/*metrics*) instead of aborting
     the run, and the merged sink equals a fault-free run restricted to
     the surviving days — quarantined days simply never merge.
+
+    *batch_size* switches shards to column-batch execution (an
+    execution strategy only — not part of the checkpoint identity, and
+    never a source of output differences).
     """
     plan = plan_shards(config)
+    task = (
+        simulate_sink_shard
+        if batch_size is None
+        else partial(simulate_sink_shard, batch_size=batch_size)
+    )
     parts = run_sharded(
-        simulate_sink_shard,
+        task,
         [(config, shard.day, shard.seed, sink) for shard in plan.shards],
         workers=workers,
         labels=[shard.shard_id for shard in plan.shards],
@@ -241,6 +265,7 @@ def simulate_to_logs(
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
     checkpoint: RunCheckpoint | None = None,
+    batch_size: int | None = None,
 ) -> list[tuple[Path, int]]:
     """Simulate and write ELFF logs in one fused pass per shard.
 
@@ -257,6 +282,7 @@ def simulate_to_logs(
         config, sink, workers=workers, metrics=metrics, retry=retry,
         allow_partial=allow_partial, failures=failures,
         fault_plan=fault_plan, checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return merged.write_dir(Path(out_dir))
 
@@ -272,6 +298,7 @@ def build_scenario_sharded(
     failures: ShardFailureReport | None = None,
     fault_plan: FaultPlan | None = None,
     checkpoint: RunCheckpoint | None = None,
+    batch_size: int | None = None,
 ) -> ScenarioDatasets:
     """Sharded counterpart of :func:`repro.datasets.build_scenario`.
 
@@ -291,6 +318,7 @@ def build_scenario_sharded(
         config, FrameSink(), workers=workers, metrics=metrics,
         retry=retry, allow_partial=allow_partial, failures=failures,
         fault_plan=fault_plan, checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     context = scenario_context(config)
     rng = np.random.default_rng(plan.sampling_seed)

@@ -8,8 +8,13 @@ and CSV round-tripping of log files.
 
 The central type is :class:`LogFrame`; :func:`frame_from_records`
 builds one from :class:`~repro.logmodel.record.LogRecord` batches.
+
+:class:`RecordBatch` is the pipeline's column-batch currency: unlike
+:class:`LogFrame` (the 16 analysis columns) it carries every wire
+field, so batches round-trip to records and ELFF rows byte-identically.
 """
 
+from repro.frame.batch import BATCH_COLUMNS, RecordBatch, concat_batches
 from repro.frame.groupby import GroupBy
 from repro.frame.io import (
     empty_frame,
@@ -20,9 +25,12 @@ from repro.frame.io import (
 from repro.frame.logframe import LogFrame, concat
 
 __all__ = [
+    "BATCH_COLUMNS",
     "LogFrame",
     "GroupBy",
+    "RecordBatch",
     "concat",
+    "concat_batches",
     "empty_frame",
     "frame_from_records",
     "read_frame_csv",

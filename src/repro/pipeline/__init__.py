@@ -23,9 +23,23 @@ Sinks form the same merge monoid as the engine's accumulators
 so ``run_sharded`` reduces them exactly like ``StreamingAnalysis`` —
 that is what lets ``simulate``, ``analyze``, and ``report`` all ride
 one traversal per shard.
+
+The pipeline also runs in **column-batch mode**
+(:meth:`Pipeline.run_batched`): sources that can yield
+:class:`~repro.frame.RecordBatch` columns do, batch-native stages and
+sinks process them column-wise, and everything else falls back to
+record-at-a-time transparently — with output byte-identical to
+:meth:`Pipeline.run` at every batch size.
 """
 
-from repro.pipeline.core import Pipeline, Sink, Source, Stage
+from repro.pipeline.core import (
+    Pipeline,
+    Sink,
+    Source,
+    Stage,
+    chunk_records,
+    is_batch_native,
+)
 from repro.pipeline.sinks import (
     CountSink,
     ElffSink,
@@ -55,4 +69,6 @@ __all__ = [
     "Stage",
     "StreamingAnalysisSink",
     "TeeSink",
+    "chunk_records",
+    "is_batch_native",
 ]

@@ -20,7 +20,10 @@ StreamingAnalysis` always has.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from itertools import islice
 from typing import Any
+
+from repro.frame.batch import RecordBatch
 
 
 class Source:
@@ -47,8 +50,48 @@ class Stage:
     def process(self, stream: Iterator) -> Iterator:
         raise NotImplementedError
 
+    def process_batch(
+        self, batches: Iterator[RecordBatch]
+    ) -> Iterator[RecordBatch]:
+        """Transform a stream of :class:`RecordBatch` chunks.
+
+        The base implementation is the automatic scalar fallback: the
+        incoming batches are flattened into one record stream,
+        :meth:`process` runs over it exactly once (so stages that keep
+        state across the whole stream — rng draws, dedup sets — behave
+        identically to scalar execution), and the result is re-chunked
+        to the first incoming batch's size.  Chunk boundaries are not
+        semantic — stages must already be chunking-insensitive — so
+        subclasses override this only to go *faster*, never to change
+        the record stream.
+        """
+        batches = iter(batches)
+        try:
+            first = next(batches)
+        except StopIteration:
+            return
+        size = max(len(first), 1)
+
+        def records() -> Iterator:
+            yield from first.iter_records()
+            for batch in batches:
+                yield from batch.iter_records()
+
+        stream = self.process(records())
+        while True:
+            chunk = list(islice(stream, size))
+            if not chunk:
+                return
+            yield RecordBatch.from_records(chunk)
+
     def __call__(self, stream: Iterable) -> Iterator:
         return self.process(iter(stream))
+
+
+def is_batch_native(stage: Stage) -> bool:
+    """Whether *stage* overrides :meth:`Stage.process_batch` (and so
+    benefits from receiving columns rather than records)."""
+    return type(stage).process_batch is not Stage.process_batch
 
 
 class Sink:
@@ -68,6 +111,25 @@ class Sink:
         """Fold every item of *stream*; returns self for chaining."""
         for item in stream:
             self.add(item)
+        return self
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        """Fold one column batch.
+
+        The base implementation is the scalar fallback — iterate the
+        batch's records through :meth:`add` — so every sink accepts
+        batches out of the box.  Subclasses override it to fold columns
+        directly; either way the resulting state must equal adding the
+        records one at a time (the batch/scalar equivalence law the
+        differential suite pins).
+        """
+        for item in batch.iter_records():
+            self.add(item)
+
+    def consume_batches(self, batches: Iterable[RecordBatch]) -> "Sink":
+        """Fold a stream of batches; returns self for chaining."""
+        for batch in batches:
+            self.add_batch(batch)
         return self
 
     def fresh(self) -> "Sink":
@@ -122,3 +184,49 @@ class Pipeline:
     def run(self, sink: Sink) -> Sink:
         """One fused pass: fold the transformed stream into *sink*."""
         return sink.consume(iter(self))
+
+    def iter_batches(self, batch_size: int) -> Iterator[RecordBatch]:
+        """The transformed stream as :class:`RecordBatch` chunks.
+
+        Routing keeps each part of the chain in its natural
+        representation: a batch-capable source yields columns directly;
+        otherwise the leading run of scalar-only stages executes on the
+        record stream (no pointless record→batch→record bounce — the
+        fleet stage, which draws rng per record, stays scalar) and the
+        stream is chunked just before the first batch-native stage.
+        From there every stage sees batches, scalar-only stages via the
+        automatic :meth:`Stage.process_batch` fallback.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        stages = self.stages
+        start = 0
+        if hasattr(self.source, "iter_batches"):
+            stream = self.source.iter_batches(batch_size)
+        else:
+            scalar: Iterator = iter(self.source)
+            while start < len(stages) and not is_batch_native(stages[start]):
+                scalar = stages[start](scalar)
+                start += 1
+            stream = chunk_records(scalar, batch_size)
+        for stage in stages[start:]:
+            stream = stage.process_batch(stream)
+        return stream
+
+    def run_batched(self, sink: Sink, batch_size: int) -> Sink:
+        """One fused pass in column-batch mode.
+
+        State-identical to :meth:`run` at every batch size — only the
+        execution strategy differs.
+        """
+        return sink.consume_batches(self.iter_batches(batch_size))
+
+
+def chunk_records(stream: Iterable, batch_size: int) -> Iterator[RecordBatch]:
+    """Chunk a record stream into :class:`RecordBatch` columns."""
+    stream = iter(stream)
+    while True:
+        chunk = list(islice(stream, batch_size))
+        if not chunk:
+            return
+        yield RecordBatch.from_records(chunk)

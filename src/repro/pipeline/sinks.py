@@ -15,7 +15,10 @@ import sys
 from collections.abc import Iterable
 from pathlib import Path
 
+import numpy as np
+
 from repro.analysis.streaming import StreamingAnalysis
+from repro.frame.batch import RecordBatch
 from repro.frame.io import (
     FRAME_COLUMNS,
     append_record,
@@ -37,6 +40,9 @@ class CountSink(Sink):
 
     def add(self, item) -> None:
         self.count += 1
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        self.count += len(batch)
 
     def fresh(self) -> "CountSink":
         return CountSink()
@@ -62,6 +68,9 @@ class RecordListSink(Sink):
 
     def add(self, record: LogRecord) -> None:
         self.records.append(record)
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        self.records.extend(batch.iter_records())
 
     def consume(self, stream: Iterable) -> "RecordListSink":
         self.records.extend(stream)
@@ -92,10 +101,20 @@ class StreamingAnalysisSink(Sink):
     def add(self, record: LogRecord) -> None:
         self.analysis.add(record)
 
+    def add_batch(self, batch: RecordBatch) -> None:
+        self.analysis.add_batch(batch)
+
     def consume(self, stream: Iterable) -> "StreamingAnalysisSink":
         # Route through the accumulator's own consume so the pass is
         # timed and counted when a metrics registry is active.
         self.analysis.consume(stream)
+        return self
+
+    def consume_batches(
+        self, batches: Iterable[RecordBatch]
+    ) -> "StreamingAnalysisSink":
+        # Same routing for the batched pass (timing + row counting).
+        self.analysis.consume_batches(batches)
         return self
 
     def fresh(self) -> "StreamingAnalysisSink":
@@ -130,6 +149,15 @@ class FrameSink(Sink):
 
     def add(self, record: LogRecord) -> None:
         append_record(self._buffers, record)
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        intern = sys.intern
+        for name, buffer in self._buffers.items():
+            values = batch.col(name).tolist()
+            if FRAME_COLUMNS[name] == "object":
+                buffer.extend(map(intern, values))
+            else:
+                buffer.extend(values)
 
     def fresh(self) -> "FrameSink":
         return FrameSink()
@@ -172,6 +200,11 @@ class TeeSink(Sink):
         self.count += 1
         for sink in self.sinks:
             sink.add(item)
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        self.count += len(batch)
+        for sink in self.sinks:
+            sink.add_batch(batch)
 
     def fresh(self) -> "TeeSink":
         return TeeSink(sink.fresh() for sink in self.sinks)
@@ -244,6 +277,13 @@ class ElffSink(Sink):
     def add(self, record: LogRecord) -> None:
         self._writer.writerow(record.to_row())
         self.count += 1
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        # Batch rows keep numeric cells as Python ints; csv.writer
+        # stringifies them exactly like to_row()'s str() calls, so the
+        # serialized bytes match the scalar path.
+        self._writer.writerows(batch.to_rows())
+        self.count += len(batch)
 
     def fresh(self) -> "ElffSink":
         return ElffSink(software=self.software)
@@ -341,11 +381,55 @@ class GroupedElffSink(Sink):
         return "_".join(parts)
 
     def add(self, record: LogRecord) -> None:
-        stem = self._stem(record)
+        group = self._group(self._stem(record))
+        group.add(record)
+
+    def _group(self, stem: str) -> ElffSink:
         group = self.groups.get(stem)
         if group is None:
             group = self.groups[stem] = ElffSink(software=self.software)
-        group.add(record)
+        return group
+
+    def _batch_stems(self, batch: RecordBatch) -> np.ndarray:
+        """Per-row group stems, computed once per distinct proxy/day."""
+        parts = []
+        if self.per_proxy:
+            uniques, inverse = np.unique(batch.col("s_ip"), return_inverse=True)
+            mapped = np.array(
+                [f"sg-{ip.rsplit('.', 1)[-1]}" for ip in uniques.tolist()],
+                dtype=object,
+            )
+            parts.append(mapped[inverse])
+        if self.per_day:
+            uniques, inverse = np.unique(
+                batch.col("epoch") // 86400, return_inverse=True
+            )
+            mapped = np.array(
+                [epoch_day(int(day) * 86400) for day in uniques.tolist()],
+                dtype=object,
+            )
+            parts.append(mapped[inverse])
+        stems = parts[0]
+        for part in parts[1:]:
+            stems = stems + "_" + part
+        return stems
+
+    def add_batch(self, batch: RecordBatch) -> None:
+        if not len(batch):
+            return
+        if not (self.per_proxy or self.per_day):
+            self._group("proxies").add_batch(batch)
+            return
+        stems = self._batch_stems(batch)
+        uniques, first_index, inverse = np.unique(
+            stems, return_index=True, return_inverse=True
+        )
+        # Visit groups in first-seen order so new groups land in the
+        # dict exactly where record-at-a-time routing would put them.
+        for position in np.argsort(first_index, kind="stable").tolist():
+            self._group(uniques[position]).add_batch(
+                batch.take(inverse == position)
+            )
 
     def fresh(self) -> "GroupedElffSink":
         return GroupedElffSink(

@@ -8,7 +8,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.faults import fault_point
-from repro.logmodel.elff import ReadStats, read_log
+from repro.frame.batch import RecordBatch
+from repro.logmodel.elff import ReadStats, read_log, read_log_batches
 from repro.logmodel.record import LogRecord
 from repro.pipeline.core import Source
 
@@ -67,3 +68,15 @@ class ElffSource(Source):
     def __iter__(self) -> Iterator[LogRecord]:
         fault_point("elff.source")
         return read_log(self.path, lenient=self.lenient, stats=self.stats)
+
+    def iter_batches(self, batch_size: int) -> Iterator[RecordBatch]:
+        """The same record stream as :class:`RecordBatch` columns.
+
+        Passes the identical fault sites in the identical order as
+        scalar iteration, so a :class:`~repro.faults.FaultPlan` hits
+        the batched path exactly where it hits the scalar one.
+        """
+        fault_point("elff.source")
+        return read_log_batches(
+            self.path, batch_size, lenient=self.lenient, stats=self.stats
+        )

@@ -6,6 +6,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.frame.batch import RecordBatch
 from repro.logmodel.anonymize import hash_client_ip, zero_client_ip
 from repro.logmodel.record import LogRecord
 from repro.pipeline.core import Stage
@@ -54,3 +55,44 @@ class AnonymizeStage(Stage):
     def process(self, stream: Iterator) -> Iterator[LogRecord]:
         for record in stream:
             yield self.anonymize(record)
+
+    def anonymize_batch(self, batch: RecordBatch) -> RecordBatch:
+        """Anonymize a whole column batch.
+
+        The keyed hash / zeroing runs once per *distinct* client
+        address on each side of the user-slice split (client addresses
+        repeat massively within a day), then broadcasts back — value
+        for value what :meth:`anonymize` produces per record.
+        """
+        if not len(batch):
+            return batch
+        epochs = batch.col("epoch")
+        in_user_slice = np.zeros(len(batch), dtype=bool)
+        for start, end in self.user_spans:
+            in_user_slice |= (epochs >= start) & (epochs < end)
+        c_ips = batch.col("c_ip")
+        anonymized = np.empty(len(batch), dtype=object)
+        anonymized[in_user_slice] = _map_distinct(
+            c_ips[in_user_slice], hash_client_ip
+        )
+        anonymized[~in_user_slice] = _map_distinct(
+            c_ips[~in_user_slice], zero_client_ip
+        )
+        return batch.with_column("c_ip", anonymized)
+
+    def process_batch(
+        self, batches: Iterator[RecordBatch]
+    ) -> Iterator[RecordBatch]:
+        for batch in batches:
+            yield self.anonymize_batch(batch)
+
+
+def _map_distinct(values: np.ndarray, func) -> np.ndarray:
+    """Apply *func* once per distinct value, broadcast to all rows."""
+    if not len(values):
+        return values
+    uniques, inverse = np.unique(values, return_inverse=True)
+    mapped = np.array(
+        [func(value) for value in uniques.tolist()], dtype=object
+    )
+    return mapped[inverse]

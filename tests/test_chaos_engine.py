@@ -317,3 +317,94 @@ class TestCliChaos:
                 "simulate", "--requests", "20000",
                 "--out", str(tmp_path), "--max-shard-retries", "0",
             ])
+
+
+# -- the batched path under the same fault plans -----------------------------
+
+class TestBatchedChaosEquivalence:
+    """Column-batch execution must be invisible to the resilience
+    layer: under any fault plan, a batched run lands byte- and
+    state-identical to the scalar run under the same plan."""
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batched_log_bytes_identical_under_faults(
+        self, tmp_path, workers
+    ):
+        simulate_to_logs(TINY, tmp_path / "clean")
+        simulate_to_logs(
+            TINY, tmp_path / "noisy", workers=workers,
+            retry=FAST, fault_plan=NOISY, batch_size=64,
+        )
+        assert (tmp_path / "noisy" / "proxies.log").read_bytes() == (
+            tmp_path / "clean" / "proxies.log"
+        ).read_bytes()
+
+    def test_batched_analyze_quarantine_equals_scalar(self, tmp_path):
+        paths = [
+            path for path, _ in
+            simulate_to_logs(TINY, tmp_path, per_day=True)
+        ]
+        plan = _crash_plan(f"log:{paths[1].name}")
+        scalar_failures = ShardFailureReport()
+        scalar = analyze_logs(
+            paths, workers=1, retry=FAST, fault_plan=plan,
+            allow_partial=True, failures=scalar_failures,
+        )
+        batched_failures = ShardFailureReport()
+        batched = analyze_logs(
+            paths, workers=1, retry=FAST, fault_plan=plan,
+            allow_partial=True, failures=batched_failures,
+            batch_size=64,
+        )
+        assert batched == scalar
+        assert batched_failures.shard_ids() == scalar_failures.shard_ids()
+
+    @pytest.mark.chaos
+    def test_cli_env_plan_with_batch_size_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert main([
+            "simulate", "--requests", "20000", "--out",
+            str(tmp_path / "clean"),
+        ]) == 0
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=1,rate=1.0")
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", "2")
+        assert main([
+            "simulate", "--requests", "20000", "--out",
+            str(tmp_path / "noisy"), "--workers", "2",
+            "--batch-size", "64",
+        ]) == 0
+        assert (tmp_path / "noisy" / "proxies.log").read_bytes() == (
+            tmp_path / "clean" / "proxies.log"
+        ).read_bytes()
+
+    @pytest.mark.chaos
+    def test_interrupted_scalar_run_resumes_batched(
+        self, tmp_path, monkeypatch
+    ):
+        """A run killed mid-way in scalar mode resumes in batched mode
+        against the same ledger, and the stitched output is identical
+        to an uninterrupted fault-free scalar run."""
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert main([
+            "simulate", "--requests", "20000", "--out",
+            str(tmp_path / "clean"),
+        ]) == 0
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=5,rate=0.5,attempts=99")
+        with pytest.raises(ShardError):
+            main([
+                "simulate", "--requests", "20000", "--out",
+                str(tmp_path / "dead"), "--max-shard-retries", "0",
+                "--checkpoint-dir", str(tmp_path / "ledger"),
+            ])
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        assert main([
+            "simulate", "--requests", "20000", "--out",
+            str(tmp_path / "resumed"), "--batch-size", "64",
+            "--checkpoint-dir", str(tmp_path / "ledger"), "--resume",
+        ]) == 0
+        assert (tmp_path / "resumed" / "proxies.log").read_bytes() == (
+            tmp_path / "clean" / "proxies.log"
+        ).read_bytes()

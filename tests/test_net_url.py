@@ -1,5 +1,6 @@
 """Tests for repro.net.url."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -9,6 +10,7 @@ from repro.net.url import (
     is_ip_like,
     parse_url,
     registered_domain,
+    registered_domains,
 )
 
 
@@ -94,6 +96,68 @@ class TestRegisteredDomain:
                     "www.facebook.com.", "WWW.FACEBOOK.COM."]
         assert {registered_domain(v) for v in variants} == {"facebook.com"}
         assert _registered_domain.cache_info().currsize == 1
+
+
+class TestRegisteredDomainsBatch:
+    """The array fast path used by the batched analyses — it must be
+    an exact broadcast of the scalar function, including lowercase and
+    trailing-dot normalization, and must not fall back to one cached
+    call per row."""
+
+    def test_matches_scalar_map(self):
+        hosts = np.array(
+            ["www.facebook.com", "ar-ar.facebook.com", "www.bbc.co.uk",
+             "84.229.1.2", "localhost", "www.mtn.com.sy"],
+            dtype=object,
+        )
+        result = registered_domains(hosts)
+        assert result.dtype == object
+        assert result.tolist() == [registered_domain(h) for h in hosts]
+
+    def test_normalization_matches_scalar(self):
+        """Regression: the batch path once skipped the lowercase /
+        trailing-dot normalization the scalar path applies, splitting
+        one domain across several counter keys."""
+        hosts = np.array(
+            ["WWW.Facebook.COM", "www.facebook.com.",
+             "WWW.FACEBOOK.COM.", "www.facebook.com"],
+            dtype=object,
+        )
+        assert registered_domains(hosts).tolist() == ["facebook.com"] * 4
+
+    def test_distinct_spellings_share_one_cache_slot(self):
+        from repro.net.url import _registered_domain
+
+        _registered_domain.cache_clear()
+        hosts = np.array(
+            ["WWW.Example.COM", "www.example.com", "www.example.com."],
+            dtype=object,
+        )
+        registered_domains(hosts)
+        assert _registered_domain.cache_info().currsize == 1
+
+    def test_results_are_native_strings(self):
+        """Counter keys and their JSON must not become numpy scalars."""
+        result = registered_domains(np.array(["www.a.com"], dtype=object))
+        assert type(result[0]) is str
+
+    def test_empty_input(self):
+        result = registered_domains(np.empty(0, dtype=object))
+        assert result.dtype == object and len(result) == 0
+        assert registered_domains([]).tolist() == []
+
+    def test_accepts_plain_lists(self):
+        assert registered_domains(["www.a.com", "b.co.uk"]).tolist() == [
+            "a.com", "b.co.uk"
+        ]
+
+    @given(st.lists(st.sampled_from([
+        "www.a.com", "A.COM", "sub.b.co.uk", "b.co.uk.", "10.0.0.1",
+        "localhost", "deep.sub.domain.example.org",
+    ])))
+    def test_broadcast_equals_scalar_property(self, hosts):
+        result = registered_domains(np.array(hosts, dtype=object))
+        assert result.tolist() == [registered_domain(h) for h in hosts]
 
 
 class TestExtension:

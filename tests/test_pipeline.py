@@ -10,7 +10,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.streaming import StreamingAnalysis
-from repro.frame import empty_frame, frame_from_records
+from repro.frame import RecordBatch, concat_batches, empty_frame, \
+    frame_from_records
 from repro.logmodel.elff import elff_header, write_log
 from repro.pipeline import (
     AnonymizeStage,
@@ -66,6 +67,13 @@ def sink_prototypes():
 
 def _fold(prototype, batch):
     return prototype.fresh().consume(batch)
+
+
+def _fold_batched(prototype, records, batch_size):
+    """Fold the same records through the column-batch entry point."""
+    return prototype.fresh().consume_batches(
+        RecordBatch.from_records(records).split(batch_size)
+    )
 
 
 # -- pipeline basics ---------------------------------------------------------
@@ -227,6 +235,107 @@ class TestSinkMergeLaws:
     def test_streaming_sink_matches_bare_accumulator(self, batch):
         sink = _fold(StreamingAnalysisSink(), batch)
         assert sink.analysis == StreamingAnalysis().consume(batch)
+
+
+# -- RecordBatch container laws (hypothesis) ---------------------------------
+
+
+class TestRecordBatchLaws:
+    """The columnar container must be a faithful, lossless view of the
+    record list — round-trips, slicing and concatenation cannot change
+    what the batch *means*, or the batched pipeline's equivalence to
+    the scalar one falls apart silently."""
+
+    @settings(max_examples=40)
+    @given(record_batches())
+    def test_records_round_trip(self, records):
+        batch = RecordBatch.from_records(records)
+        assert len(batch) == len(records)
+        assert batch.to_records() == records
+
+    @settings(max_examples=40)
+    @given(record_batches())
+    def test_rows_match_scalar_serialization(self, records):
+        batch = RecordBatch.from_records(records)
+        scalar_rows = [tuple(record.to_row()) for record in records]
+        batched_rows = [
+            tuple(str(cell) for cell in row) for row in batch.to_rows()
+        ]
+        assert batched_rows == scalar_rows
+
+    @settings(max_examples=40)
+    @given(record_batches(), st.integers(0, 25), st.integers(0, 25))
+    def test_slice_concat_identity(self, records, start, stop):
+        batch = RecordBatch.from_records(records)
+        start, stop = sorted((min(start, len(batch)), min(stop, len(batch))))
+        rejoined = concat_batches([
+            batch.slice(0, start),
+            batch.slice(start, stop),
+            batch.slice(stop),
+        ])
+        assert rejoined == batch
+        assert rejoined.to_records() == records
+
+    @settings(max_examples=40)
+    @given(record_batches(), st.integers(1, 30))
+    def test_split_concat_identity(self, records, batch_size):
+        batch = RecordBatch.from_records(records)
+        chunks = list(batch.split(batch_size))
+        assert all(1 <= len(chunk) <= batch_size for chunk in chunks)
+        assert sum(len(chunk) for chunk in chunks) == len(batch)
+        assert concat_batches(chunks) == batch
+
+    def test_concat_nothing_is_the_empty_batch(self):
+        assert concat_batches([]) == RecordBatch.empty()
+        assert len(RecordBatch.empty()) == 0
+        assert RecordBatch.empty().to_records() == []
+
+    def test_empty_batch_round_trips(self):
+        assert RecordBatch.from_records([]) == RecordBatch.empty()
+        assert RecordBatch.empty().to_rows() == []
+
+
+# -- batched sink laws (hypothesis) ------------------------------------------
+
+
+class TestBatchedSinkLaws:
+    """``consume_batches`` must land every sink in the same state as
+    record-at-a-time ``consume`` — at any batch size — and batched
+    folds must obey the same merge monoid the shard reduce relies on."""
+
+    @settings(max_examples=40)
+    @given(sink_prototypes(), record_batches(),
+           st.sampled_from([1, 3, 7, 64]))
+    def test_batched_fold_equals_scalar_fold(
+        self, prototype, records, batch_size
+    ):
+        assert _fold_batched(prototype, records, batch_size) == \
+            _fold(prototype, records)
+
+    @settings(max_examples=40)
+    @given(sink_prototypes(), record_batches(40), st.integers(0, 40),
+           st.sampled_from([1, 5, 64]))
+    def test_merged_batched_folds_equal_single_scalar_pass(
+        self, prototype, records, cut, batch_size
+    ):
+        cut = min(cut, len(records))
+        merged = _fold_batched(prototype, records[:cut], batch_size).merge(
+            _fold_batched(prototype, records[cut:], batch_size)
+        )
+        assert merged == _fold(prototype, records)
+
+    @settings(max_examples=40)
+    @given(sink_prototypes(), record_batches(30), st.integers(0, 30))
+    def test_batched_and_scalar_folds_merge_together(
+        self, prototype, records, cut
+    ):
+        """Mixed-mode shards (one worker batched, one scalar) must
+        still reduce to the single-pass state."""
+        cut = min(cut, len(records))
+        merged = _fold(prototype, records[:cut]).merge(
+            _fold_batched(prototype, records[cut:], 7)
+        )
+        assert merged == _fold(prototype, records)
 
 
 # -- ELFF sinks --------------------------------------------------------------
