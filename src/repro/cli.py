@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Five subcommands cover the simulate → analyze loop:
+Seven subcommands cover the simulate → analyze loop and the live
+ingestion service:
 
 ``repro simulate``
     Generate a scenario and write its logs in the leaked ELFF/CSV
@@ -21,6 +22,16 @@ Five subcommands cover the simulate → analyze loop:
 ``repro verify-run``
     Audit a ``--checkpoint-dir`` run ledger offline: manifest,
     journal, and every artifact's SHA-256.  Exits nonzero on damage.
+
+``repro serve``
+    Run the live ingestion service: tail growing ELFF files, accept
+    log lines over ``POST /ingest``, serve sliding-window analyses on
+    ``GET /analysis?window=N`` (see the "Live ingestion" section of
+    docs/ARCHITECTURE.md).
+
+``repro loadgen``
+    Drive a running service at a fixed request rate with synthetic
+    ELFF payloads, printing live throughput and a final summary.
 
 ``simulate``, ``analyze``, and ``report`` accept ``--checkpoint-dir``
 (journal completed shards to a durable run ledger) and ``--resume``
@@ -45,6 +56,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for flags that must be > 0 (e.g. --rate)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -261,6 +283,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("directory", type=Path,
                         help="the checkpoint directory to audit")
+
+    serve = commands.add_parser(
+        "serve", help="run the live ELFF ingestion service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free port and prints "
+                            "it (default 8080)")
+    serve.add_argument("--tail", type=Path, action="append", default=[],
+                       metavar="PATH",
+                       help="tail a growing ELFF file (repeatable; .gz "
+                            "transparent; the file may not exist yet)")
+    serve.add_argument("--window-days", type=_positive_int, default=None,
+                       metavar="N",
+                       help="retain only the newest N log-days of "
+                            "analysis state (default: retain all days)")
+    serve.add_argument("--queue-size", type=_positive_int, default=64,
+                       metavar="N",
+                       help="bounded ingest queue depth; a full queue "
+                            "answers 429 + Retry-After (default 64)")
+    serve.add_argument("--poll-interval", type=_positive_float,
+                       default=0.25, metavar="SECONDS",
+                       help="tail poll interval (default 0.25)")
+    serve.add_argument("--retry-after", type=_positive_float, default=1.0,
+                       metavar="SECONDS",
+                       help="Retry-After value sent with 429 (default 1)")
+    serve.add_argument("--for-seconds", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="shut down cleanly after SECONDS instead of "
+                            "waiting for SIGINT/SIGTERM (smoke tests)")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a running service at a fixed request rate"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1",
+                         help="service address (default 127.0.0.1)")
+    loadgen.add_argument("--port", type=_positive_int, required=True,
+                         help="service port")
+    loadgen.add_argument("--rate", type=_positive_float, default=50.0,
+                         metavar="RPS",
+                         help="offered request rate per second "
+                              "(default 50)")
+    loadgen.add_argument("--requests", type=_positive_int, default=200,
+                         metavar="N",
+                         help="total requests to send (default 200)")
+    loadgen.add_argument("--lines", type=_positive_int, default=20,
+                         metavar="N",
+                         help="ELFF records per request (default 20)")
+    loadgen.add_argument("--days", type=_positive_int, default=3,
+                         metavar="N",
+                         help="spread synthetic records over N log-days "
+                              "(default 3)")
+    loadgen.add_argument("--workers", type=_positive_int, default=4,
+                         help="concurrent connections (default 4; the "
+                              "offered rate is worker-count-invariant)")
+    loadgen.add_argument("--quiet", action="store_true",
+                         help="suppress the live per-interval output")
     return parser
 
 
@@ -536,12 +616,58 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     return 0 if audit.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import IngestService, WindowStore
+
+    service = IngestService(
+        WindowStore(retention_days=args.window_days),
+        queue_size=args.queue_size,
+        tail_paths=tuple(args.tail),
+        poll_interval=args.poll_interval,
+        retry_after=args.retry_after,
+    )
+    try:
+        asyncio.run(service.serve_forever(
+            args.host, args.port, for_seconds=args.for_seconds,
+        ))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import LoadGenerator
+
+    generator = LoadGenerator(
+        args.host, args.port,
+        rate=args.rate, total=args.requests,
+        lines_per_request=args.lines, days=args.days,
+        workers=args.workers, quiet=args.quiet,
+    )
+    try:
+        summary = asyncio.run(generator.run())
+    except ConnectionRefusedError:
+        raise SystemExit(
+            f"error: no service listening on {args.host}:{args.port} "
+            "(start one with `repro serve`)"
+        )
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "recover": _cmd_recover,
     "report": _cmd_report,
     "verify-run": _cmd_verify_run,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -140,13 +140,20 @@ class ReadStats:
     ``skipped`` counts malformed-but-parseable rows; ``corrupted``
     counts streams that died mid-read (truncated gzip, bad CRC,
     garbage that broke the CSV layer) — one per file, since a corrupt
-    stream ends the file.
+    stream ends the file.  ``incomplete_tail`` counts files whose final
+    line had no terminator yet — a writer caught mid-flush — and
+    ``incomplete_tail_offset`` is the byte offset where that line
+    starts (uncompressed offset for ``.gz``): the line is left
+    *unread*, not skipped, so a tailer can resume exactly there once
+    the writer finishes it and the last record is never dropped.
     """
 
     records: int = 0
     skipped: int = 0
     first_error: str | None = None
     corrupted: int = 0
+    incomplete_tail: int = 0
+    incomplete_tail_offset: int | None = None
 
     def merge(self, other: "ReadStats") -> "ReadStats":
         """Fold another reader's bookkeeping in (sharded reads merge
@@ -154,6 +161,9 @@ class ReadStats:
         self.records += other.records
         self.skipped += other.skipped
         self.corrupted += other.corrupted
+        self.incomplete_tail += other.incomplete_tail
+        if self.incomplete_tail_offset is None:
+            self.incomplete_tail_offset = other.incomplete_tail_offset
         if self.first_error is None:
             self.first_error = other.first_error
         return self
@@ -219,6 +229,73 @@ def _settle_corruption(
             stats.first_error = f"{path}: {error}"
 
 
+class _TailSentry:
+    """Line filter that withholds an unterminated final line.
+
+    Wraps a text handle's line iteration and yields only lines that
+    end in a terminator.  ``readline`` returns a line without one
+    exactly once, at end of file — a writer caught mid-flush — so the
+    sentry parks that line in :attr:`torn` instead of yielding it, and
+    :meth:`resume_offset` reports the byte offset where the line
+    starts, which is where a tailer must resume reading.
+
+    With ``count_bytes=True`` the offset is maintained as a running
+    sum over the encoded lines actually yielded — exact even when the
+    stream dies mid-read, which is what the tail poller needs.  The
+    default derives it from the underlying binary layer's position at
+    clean end-of-stream instead, costing nothing per line on the batch
+    analyze hot path.
+    """
+
+    def __init__(self, handle, *, count_bytes: bool = False,
+                 base_offset: int = 0):
+        self._handle = handle
+        self._count_bytes = count_bytes
+        self._encoding = getattr(handle, "encoding", None) or "utf-8"
+        self.consumed = base_offset
+        self.torn: str | None = None
+
+    def __iter__(self) -> Iterator[str]:
+        for line in self._handle:
+            # With newline="" every line keeps its terminator; only the
+            # physically-last line of the stream can lack one.
+            if line.endswith(("\n", "\r")):
+                if self._count_bytes:
+                    self.consumed += len(line.encode(self._encoding))
+                yield line
+            else:
+                self.torn = line
+
+    def resume_offset(self) -> int | None:
+        """Byte offset a tailer should continue from: the start of the
+        torn line when one was withheld, end-of-stream otherwise.  For
+        gzip handles the offset is in the *uncompressed* stream."""
+        if self._count_bytes:
+            return self.consumed
+        buffer = getattr(self._handle, "buffer", None)
+        if buffer is None:
+            return None
+        try:
+            end = buffer.tell()
+        except (OSError, ValueError):
+            return None
+        if self.torn is None:
+            return end
+        return end - len(self.torn.encode(self._encoding))
+
+
+def _settle_incomplete_tail(
+    sentry: _TailSentry, stats: ReadStats | None
+) -> None:
+    """A lenient path read ended on a torn line: count it, leave it."""
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("elff.read.incomplete_tail")
+    if stats is not None:
+        stats.incomplete_tail += 1
+        stats.incomplete_tail_offset = sentry.resume_offset()
+
+
 def _check_directive(row: list[str]) -> None:
     """Validate a ``#``-directive row (shared by both readers).
 
@@ -258,15 +335,26 @@ def read_log(
     corruption is counted into ``stats.corrupted``, and the stream
     ends — exactly how the paper's pipeline had to treat log files the
     proxies never finished writing.
+
+    Lenient path reads also distinguish an *incomplete trailing line*
+    (no terminator at EOF — a writer mid-flush) from malformed data:
+    the line is left unread, counted into ``stats.incomplete_tail``,
+    and its starting byte offset reported as
+    ``stats.incomplete_tail_offset`` so a tailer can resume exactly
+    there — see :func:`tail_records`.
     """
     if isinstance(source, (str, Path)):
         path = Path(source)
         fault_point("elff.read")
         with open_log_reader(path) as handle:
+            sentry = _TailSentry(handle) if lenient else None
+            lines = iter(sentry) if sentry is not None else handle
             try:
-                yield from read_log(handle, lenient=lenient, stats=stats)
+                yield from read_log(lines, lenient=lenient, stats=stats)
             except _STREAM_CORRUPTION as error:
                 _settle_corruption(path, handle, error, lenient, stats)
+            if sentry is not None and sentry.torn is not None:
+                _settle_incomplete_tail(sentry, stats)
         return
     reader = csv.reader(source)
     registry = current_registry()
@@ -344,7 +432,12 @@ def read_log_batches(
         path = Path(source)
         fault_point("elff.read")
         with open_log_reader(path) as handle:
-            yield from _read_batches(handle, batch_size, lenient, stats, path)
+            sentry = _TailSentry(handle) if lenient else None
+            lines = iter(sentry) if sentry is not None else handle
+            yield from _read_batches(lines, batch_size, lenient, stats,
+                                     path, offset_handle=handle)
+            if sentry is not None and sentry.torn is not None:
+                _settle_incomplete_tail(sentry, stats)
         return
     yield from _read_batches(source, batch_size, lenient, stats, None)
 
@@ -355,6 +448,7 @@ def _read_batches(
     lenient: bool,
     stats: ReadStats | None,
     path: Path | None,
+    offset_handle=None,
 ) -> Iterator[RecordBatch]:
     """The chunking loop behind :func:`read_log_batches`.
 
@@ -440,7 +534,10 @@ def _read_batches(
             if len(batch):
                 yield batch
         if corruption is not None:
-            _settle_corruption(path, handle, corruption, lenient, stats)
+            _settle_corruption(
+                path, offset_handle if offset_handle is not None else handle,
+                corruption, lenient, stats,
+            )
     finally:
         # Flushed on exhaustion *and* early close, matching read_log.
         if registry is not None and (kept_total or skipped_total):
@@ -718,6 +815,57 @@ def _parse_times(times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         digit_ok & colon_ok & (hours < 24) & (minutes < 60) & (seconds < 60)
     )
     return hours * 3600 + minutes * 60 + seconds, ok
+
+
+def tail_records(
+    path: Path | str,
+    *,
+    offset: int = 0,
+    stats: ReadStats | None = None,
+) -> tuple[list[LogRecord], int]:
+    """One tail-safe poll over a growing ELFF log (gzip-transparent).
+
+    Parses the complete records found at or after byte *offset* (for
+    ``.gz`` paths an offset into the *uncompressed* stream, reached by
+    re-inflating the prefix) and returns ``(records, next_offset)``,
+    where *next_offset* is the position the next poll should resume
+    from.  Reads are lenient and line-framed:
+
+    * a torn final line — a writer caught mid-flush, no terminator
+      yet — is left unread, counted into ``stats.incomplete_tail``,
+      and *next_offset* points at its first byte, so no record is ever
+      dropped or double-read across polls;
+    * a stream that dies mid-read (a ``.gz`` member still being
+      written, byte noise) is settled like :func:`read_log` lenient
+      mode — the records on complete lines before the failure are
+      returned, the corruption counted — and *next_offset* advances
+      exactly past the lines that parsed.
+
+    The one framing assumption is one record per physical line (quoted
+    fields must not span lines), which holds for every SG-9000 field.
+    """
+    path = Path(path)
+    if stats is None:
+        stats = ReadStats()
+    records: list[LogRecord] = []
+    fault_point("elff.read")
+    with open_log_reader(path) as handle:
+        sentry = _TailSentry(handle, count_bytes=True, base_offset=offset)
+        try:
+            # Seek the binary layer before the text layer reads
+            # anything (for .gz this re-inflates the prefix, and can
+            # itself hit the truncation of a member still being
+            # written — settled below like any mid-read death).
+            buffer = getattr(handle, "buffer", None)
+            if offset and buffer is not None:
+                buffer.seek(offset)
+            for record in read_log(iter(sentry), lenient=True, stats=stats):
+                records.append(record)
+        except _STREAM_CORRUPTION as error:
+            _settle_corruption(path, handle, error, True, stats)
+        if sentry.torn is not None:
+            _settle_incomplete_tail(sentry, stats)
+    return records, sentry.consumed
 
 
 def read_log_rows(source: Path | io.TextIOBase) -> Iterator[list[str]]:

@@ -17,7 +17,9 @@ provides the instrumentation layer:
 """
 
 from repro.metrics.registry import (
+    MetricsDelta,
     MetricsRegistry,
+    MetricsSnapshot,
     ShardMetrics,
     TimerStats,
     current_registry,
@@ -33,7 +35,9 @@ from repro.metrics.report import (
 
 __all__ = [
     "METRICS_SCHEMA",
+    "MetricsDelta",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "ShardMetrics",
     "TimerStats",
     "current_registry",

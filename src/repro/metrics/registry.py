@@ -81,6 +81,70 @@ class TimerStats:
         }
 
 
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable mark of a registry's monotonic state.
+
+    Counters and timers only ever grow, so a long-running process
+    cannot read *rates* off the raw registry — only totals since
+    start.  A snapshot freezes the growing parts (plus a monotonic
+    timestamp); :meth:`MetricsRegistry.delta_since` diffs the live
+    registry against a mark to recover what happened in between.
+    """
+
+    counters: dict[str, int]
+    timers: dict[str, tuple[int, float]]
+    taken_at: float
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The before-anything mark (a delta against it is the total)."""
+        return cls(counters={}, timers={}, taken_at=0.0)
+
+
+@dataclass(frozen=True)
+class MetricsDelta:
+    """Growth of a registry between two marks: the per-window view.
+
+    ``counters`` holds only the names that grew; ``timers`` the spans
+    recorded in the window.  ``seconds`` is the monotonic wall time
+    between the marks, which :meth:`rate` divides by.  Deltas feed the
+    service's ``/stats`` endpoint and the load generator's live
+    output; the batch ``--metrics`` JSON document is untouched
+    (schema ``repro.metrics/3`` reports totals, as before).
+    """
+
+    counters: dict[str, int]
+    timers: dict[str, TimerStats]
+    seconds: float
+
+    def count(self, name: str) -> int:
+        """Counter growth in the window (0 when it did not move)."""
+        return self.counters.get(name, 0)
+
+    def rate(self, name: str) -> float:
+        """Counter growth per second of window wall time."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.counters.get(name, 0) / self.seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation, deterministically ordered."""
+        return {
+            "seconds": self.seconds,
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "rates": {
+                name: self.rate(name) for name in sorted(self.counters)
+            },
+            "timers": {
+                name: self.timers[name].to_dict()
+                for name in sorted(self.timers)
+            },
+        }
+
+
 class MetricsRegistry:
     """A mergeable bag of counters, gauges, timers, and shard records.
 
@@ -147,6 +211,48 @@ class MetricsRegistry:
         """Append one quarantined shard's failure record."""
         with self._lock:
             self.failures.append(failure)
+
+    # -- delta snapshots ---------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable mark of the monotonic state (counters, timers)
+        plus a monotonic-clock stamp, for :meth:`delta_since`."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self.counters),
+                timers={
+                    name: (stats.count, stats.total_seconds)
+                    for name, stats in self.timers.items()
+                },
+                taken_at=time.monotonic(),
+            )
+
+    def delta_since(self, mark: MetricsSnapshot | None) -> MetricsDelta:
+        """What grew since *mark* (``None`` = since the empty registry).
+
+        Returns only the counters that moved and the timer spans
+        recorded in the window, with the window's wall seconds — the
+        building block for per-window rates in long-running processes,
+        where the raw monotonic totals can only answer "since start".
+        """
+        if mark is None:
+            mark = MetricsSnapshot.empty()
+        now = self.snapshot()
+        counters = {
+            name: grown
+            for name, value in now.counters.items()
+            if (grown := value - mark.counters.get(name, 0))
+        }
+        timers = {}
+        for name, (count, total) in now.timers.items():
+            before_count, before_total = mark.timers.get(name, (0, 0.0))
+            if count != before_count:
+                timers[name] = TimerStats(
+                    count - before_count, total - before_total
+                )
+        seconds = now.taken_at - mark.taken_at if mark.taken_at else 0.0
+        return MetricsDelta(counters=counters, timers=timers,
+                            seconds=seconds)
 
     # -- the monoid --------------------------------------------------------
 

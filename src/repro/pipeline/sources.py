@@ -52,6 +52,13 @@ class ElffSource(Source):
     the reader's ``elff.read``/``gzip.open`` sites), so an active
     :class:`~repro.faults.FaultPlan` can corrupt or fail file shards
     exactly where real disk trouble would surface.
+
+    Both iteration paths are fully lazy: the fault site fires and the
+    file is opened at the first ``next()``, never at construction or
+    ``iter()``.  A source pre-built long before it is drained — the
+    ingestion service builds sources for files that may not exist yet —
+    fails at *read* time like every other site, inside whatever fault
+    context and error handling surround the actual read.
     """
 
     def __init__(
@@ -67,7 +74,7 @@ class ElffSource(Source):
 
     def __iter__(self) -> Iterator[LogRecord]:
         fault_point("elff.source")
-        return read_log(self.path, lenient=self.lenient, stats=self.stats)
+        yield from read_log(self.path, lenient=self.lenient, stats=self.stats)
 
     def iter_batches(self, batch_size: int) -> Iterator[RecordBatch]:
         """The same record stream as :class:`RecordBatch` columns.
@@ -77,6 +84,6 @@ class ElffSource(Source):
         the batched path exactly where it hits the scalar one.
         """
         fault_point("elff.source")
-        return read_log_batches(
+        yield from read_log_batches(
             self.path, batch_size, lenient=self.lenient, stats=self.stats
         )

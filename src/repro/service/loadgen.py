@@ -1,0 +1,260 @@
+"""An asyncio load generator for the ingestion service.
+
+``repro loadgen`` drives ``POST /ingest`` at a configurable request
+rate with deterministic synthetic ELFF payloads, reports live
+per-interval metrics while it runs, and finishes with a summary that
+includes the server's own view (a final ``/stats`` scrape) — enough to
+see, from one terminal, that the queue depth stays bounded at the
+offered rate.
+
+The rate limiter is a *shared schedule*: request *i* is due at
+``t0 + i / rate``, and every worker sleeps until its claimed request's
+due time.  Unlike per-worker pacing, the offered rate is then
+independent of the worker count, and a slow response delays only the
+workers stuck on it — the schedule itself never drifts.  A ``429``
+answer is honored by sleeping the server's ``Retry-After`` and
+retrying the same payload, so throttling sheds load without losing
+records.
+
+Live metrics ride the same delta-snapshot machinery as the server's
+``/stats``: the generator's private registry is marked every report
+interval and the printed rates are true per-window deltas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import io
+import json
+
+from repro.logmodel.classify import NO_EXCEPTION
+from repro.logmodel.record import LogRecord
+from repro.metrics import MetricsRegistry
+from repro.timeline import day_epoch
+
+#: First synthetic log-day (inside the paper's capture period).
+BASE_DAY = "2011-08-03"
+
+#: Deterministic host rotation for synthetic traffic; the middle entry
+#: is served censored so analyses over generated load are non-trivial.
+_HOSTS = (
+    ("www.google.com", NO_EXCEPTION, "OBSERVED"),
+    ("www.facebook.com", "policy_denied", "DENIED"),
+    ("www.wikipedia.org", NO_EXCEPTION, "OBSERVED"),
+    ("www.skype.com", "policy_redirect", "DENIED"),
+    ("www.yahoo.com", "dns_unresolved_hostname", "DENIED"),
+)
+
+
+def build_payload(index: int, lines: int, days: int) -> str:
+    """Request *index*'s body: *lines* synthetic ELFF records.
+
+    A pure function of its arguments, so a run's total traffic is
+    reproducible and a tail-ingest of the concatenated payloads equals
+    a batch analyze over them.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out)
+    base = index * lines
+    for offset in range(lines):
+        serial = base + offset
+        host, exception, filter_result = _HOSTS[serial % len(_HOSTS)]
+        epoch = (
+            day_epoch(BASE_DAY)
+            + (serial % days) * 86_400
+            + (serial * 7) % 86_400
+        )
+        record = LogRecord(
+            epoch=epoch,
+            c_ip=f"10.0.{(serial >> 8) % 256}.{serial % 256}",
+            s_ip="82.137.200.42",
+            cs_host=host,
+            cs_uri_path=f"/page/{serial % 97}",
+            sc_filter_result=filter_result,
+            x_exception_id=exception,
+        )
+        writer.writerow(record.to_row())
+    return out.getvalue()
+
+
+class LoadGenerator:
+    """Drive ``/ingest`` at *rate* requests/second until *total*
+    requests have been accepted."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        rate: float,
+        total: int,
+        lines_per_request: int = 20,
+        days: int = 3,
+        workers: int = 4,
+        report_interval: float = 1.0,
+        quiet: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if total < 1:
+            raise ValueError(f"total must be >= 1, got {total}")
+        self.host = host
+        self.port = port
+        self.rate = rate
+        self.total = total
+        self.lines_per_request = lines_per_request
+        self.days = days
+        self.workers = max(1, min(workers, total))
+        self.report_interval = report_interval
+        self.quiet = quiet
+        self.registry = MetricsRegistry()
+        self._next_index = 0
+
+    # -- the raw HTTP client ----------------------------------------------
+
+    async def _request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: str = "",
+    ) -> tuple[int, dict[str, str], dict]:
+        """One keep-alive request; returns (status, headers, JSON)."""
+        encoded = body.encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + encoded)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        status = int(status_line.split(" ")[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = (
+            json.loads(await reader.readexactly(length)) if length else {}
+        )
+        return status, headers, payload
+
+    async def _worker(self, started_at: float) -> None:
+        """Claim schedule slots and send until the schedule runs out."""
+        loop = asyncio.get_running_loop()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            while True:
+                index = self._next_index
+                if index >= self.total:
+                    return
+                self._next_index = index + 1
+                due = started_at + index / self.rate
+                delay = due - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                body = build_payload(
+                    index, self.lines_per_request, self.days
+                )
+                while True:
+                    status, headers, payload = await self._request(
+                        reader, writer, "POST", "/ingest", body
+                    )
+                    self.registry.inc("loadgen.sent")
+                    if status == 202:
+                        self.registry.inc("loadgen.accepted")
+                        self.registry.inc(
+                            "loadgen.lines", self.lines_per_request
+                        )
+                        depth = payload.get("queue_depth", 0)
+                        self.registry.set_gauge(
+                            "loadgen.queue_depth", depth
+                        )
+                        break
+                    if status == 429:
+                        self.registry.inc("loadgen.throttled")
+                        await asyncio.sleep(
+                            float(headers.get("retry-after", "1"))
+                        )
+                        continue
+                    self.registry.inc("loadgen.errors")
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _reporter(self) -> None:
+        """Print per-interval rates off delta snapshots."""
+        mark = self.registry.snapshot()
+        while True:
+            await asyncio.sleep(self.report_interval)
+            delta = self.registry.delta_since(mark)
+            mark = self.registry.snapshot()
+            sent = self.registry.counters["loadgen.sent"]
+            print(
+                f"loadgen: {sent}/{self.total} requests"
+                f" | {delta.rate('loadgen.sent'):.1f} req/s"
+                f" | {delta.rate('loadgen.lines'):.0f} lines/s"
+                f" | throttled {delta.count('loadgen.throttled')}",
+                flush=True,
+            )
+
+    async def run(self) -> dict:
+        """Drive the full schedule; returns the run summary (client
+        counters plus a final server ``/stats`` scrape)."""
+        loop = asyncio.get_running_loop()
+        started_at = loop.time()
+        workers = [
+            asyncio.create_task(self._worker(started_at))
+            for _ in range(self.workers)
+        ]
+        reporter = None
+        if not self.quiet:
+            reporter = asyncio.create_task(self._reporter())
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            if reporter is not None:
+                reporter.cancel()
+                try:
+                    await reporter
+                except asyncio.CancelledError:
+                    pass
+        elapsed = loop.time() - started_at
+        server_stats: dict = {}
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            try:
+                _, _, server_stats = await self._request(
+                    reader, writer, "GET", "/stats"
+                )
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        except OSError:
+            pass
+        counters = self.registry.counters
+        return {
+            "requests": counters["loadgen.sent"],
+            "accepted": counters["loadgen.accepted"],
+            "throttled": counters["loadgen.throttled"],
+            "errors": counters["loadgen.errors"],
+            "lines": counters["loadgen.lines"],
+            "elapsed_seconds": elapsed,
+            "achieved_rps": (
+                counters["loadgen.accepted"] / elapsed if elapsed else 0.0
+            ),
+            "server": server_stats,
+        }

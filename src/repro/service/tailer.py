@@ -1,0 +1,59 @@
+"""Follow a growing ELFF log file across polls.
+
+:class:`LogTailer` is the stateful wrapper around :func:`repro.
+logmodel.elff.tail_records`: it remembers the resume offset between
+polls, skips polls when the file has not grown, and resets to the
+start when the file shrinks (rotation / truncation).  Each poll
+returns only the records that became complete since the last one — a
+torn final line is left for the next poll, so the record stream across
+polls is exactly the record stream of the final file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.logmodel.elff import ReadStats, tail_records
+from repro.logmodel.record import LogRecord
+
+
+class LogTailer:
+    """Incremental reader over one growing ELFF file.
+
+    The tailer tracks two sizes: the *raw* on-disk size (to cheaply
+    detect growth and rotation via ``stat``) and the resume *offset*
+    into the decoded stream (uncompressed bytes for ``.gz``).  Read
+    bookkeeping accumulates into :attr:`stats` across polls.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.stats = ReadStats()
+        self.polls = 0
+        self.rotations = 0
+        self._raw_size = -1
+
+    def poll(self) -> list[LogRecord]:
+        """Read the records that became complete since the last poll.
+
+        Returns an empty list when the file is missing (not created
+        yet, or mid-rotation) or has not changed size since the last
+        poll.  A shrunk file is treated as rotated: the offset resets
+        and the new content is read from the top.
+        """
+        try:
+            raw_size = self.path.stat().st_size
+        except FileNotFoundError:
+            return []
+        if raw_size < self._raw_size:
+            self.rotations += 1
+            self.offset = 0
+        elif raw_size == self._raw_size:
+            return []
+        self._raw_size = raw_size
+        self.polls += 1
+        records, self.offset = tail_records(
+            self.path, offset=self.offset, stats=self.stats
+        )
+        return records

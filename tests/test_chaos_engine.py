@@ -408,3 +408,54 @@ class TestBatchedChaosEquivalence:
         assert (tmp_path / "resumed" / "proxies.log").read_bytes() == (
             tmp_path / "clean" / "proxies.log"
         ).read_bytes()
+
+
+# -- lazy sources: faults and open errors fire at read time ------------------
+
+class TestLazyElffSource:
+    """``ElffSource`` must not fire its fault site — or surface
+    file-open errors — at iterator construction.  Sources are cheap
+    descriptions the service pre-builds long before draining them, so
+    both belong to the first ``next()``, inside whatever fault context
+    and error handling surround the actual read."""
+
+    PLAN = FaultPlan(seed=3, rate=1.0, rate_site="elff.source")
+
+    def _log(self, tmp_path):
+        from repro.logmodel.elff import write_log
+        from tests.helpers import make_record
+
+        path = tmp_path / "lazy.log"
+        write_log([make_record()], path)
+        return path
+
+    def test_scalar_fault_fires_at_first_next(self, tmp_path):
+        from repro.faults import InjectedFault, use_fault_plan
+        from repro.pipeline import ElffSource
+
+        path = self._log(tmp_path)
+        with use_fault_plan(self.PLAN, shard_id="log:lazy.log"):
+            iterator = iter(ElffSource(path))  # no fault yet
+            with pytest.raises(InjectedFault):
+                next(iterator)
+
+    def test_batched_fault_fires_at_first_next(self, tmp_path):
+        from repro.faults import InjectedFault, use_fault_plan
+        from repro.pipeline import ElffSource
+
+        path = self._log(tmp_path)
+        with use_fault_plan(self.PLAN, shard_id="log:lazy.log"):
+            batches = ElffSource(path).iter_batches(8)  # no fault yet
+            with pytest.raises(InjectedFault):
+                next(batches)
+
+    def test_missing_file_errors_at_first_next(self, tmp_path):
+        from repro.pipeline import ElffSource
+
+        source = ElffSource(tmp_path / "not-yet-written.log")
+        iterator = iter(source)  # constructing and iter() both fine
+        batches = source.iter_batches(8)
+        with pytest.raises(FileNotFoundError):
+            next(iterator)
+        with pytest.raises(FileNotFoundError):
+            next(batches)

@@ -197,17 +197,24 @@ class TestLenientEdgeCases:
     lenient reader's behavior on these shapes is what keeps parallel
     analysis identical to serial."""
 
-    def test_truncated_last_line_is_skipped(self, tmp_path):
+    def test_truncated_last_line_is_left_unread(self, tmp_path):
+        """A torn final line (writer mid-flush) is not malformed data:
+        it is left unread with its offset reported, so a tailer can
+        resume from it and the last record is never dropped."""
         path = tmp_path / "truncated.log"
         records = [make_record(cs_host=f"host{i}.com") for i in range(3)]
         write_log(records, path)
-        path.write_text(path.read_text()[:-35])  # cut the final row short
+        text = path.read_text()
+        path.write_text(text[:-35])  # cut the final row short
         stats = ReadStats()
         kept = list(read_log(path, lenient=True, stats=stats))
         assert kept == records[:2]
         assert stats.records == 2
-        assert stats.skipped == 1
-        assert stats.first_error is not None
+        assert stats.skipped == 0
+        assert stats.first_error is None
+        assert stats.incomplete_tail == 1
+        torn_start = text[:-35].rfind("\n") + 1
+        assert stats.incomplete_tail_offset == torn_start
 
     def test_truncated_line_raises_when_strict(self, tmp_path):
         path = tmp_path / "truncated.log"

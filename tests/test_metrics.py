@@ -268,3 +268,80 @@ class TestExport:
         text = metrics_to_markdown(MetricsRegistry())
         assert text.startswith("## Pipeline metrics")
         assert "0 shards" in text
+
+
+class TestDeltaSnapshots:
+    """snapshot()/delta_since(): the per-window view a long-running
+    process needs, layered on the monotonic counters without touching
+    the batch JSON schema."""
+
+    def test_delta_reports_only_growth(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 5)
+        registry.inc("b", 2)
+        mark = registry.snapshot()
+        registry.inc("a", 3)
+        registry.inc("c", 7)
+        delta = registry.delta_since(mark)
+        assert delta.counters == {"a": 3, "c": 7}
+        assert delta.count("a") == 3
+        assert delta.count("b") == 0  # unmoved counters are absent
+
+    def test_delta_since_none_is_the_total(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 4)
+        delta = registry.delta_since(None)
+        assert delta.counters == {"a": 4}
+        assert delta.seconds == 0.0
+        assert delta.rate("a") == 0.0  # no window, no rate
+
+    def test_timer_deltas_diff_counts_and_totals(self):
+        registry = MetricsRegistry()
+        registry.observe("t", 1.0)
+        mark = registry.snapshot()
+        registry.observe("t", 0.5)
+        registry.observe("t", 0.25)
+        delta = registry.delta_since(mark)
+        assert delta.timers["t"].count == 2
+        assert delta.timers["t"].total_seconds == pytest.approx(0.75)
+
+    def test_window_seconds_and_rate(self):
+        import time as time_module
+
+        registry = MetricsRegistry()
+        mark = registry.snapshot()
+        time_module.sleep(0.01)
+        registry.inc("lines", 100)
+        delta = registry.delta_since(mark)
+        assert delta.seconds > 0.0
+        assert delta.rate("lines") == pytest.approx(100 / delta.seconds)
+
+    def test_snapshot_is_immutable_mark(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        mark = registry.snapshot()
+        registry.inc("a", 9)
+        # the mark still reflects the moment it was taken
+        assert mark.counters == {"a": 1}
+        assert registry.delta_since(mark).counters == {"a": 9}
+
+    def test_delta_to_dict_is_deterministic_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.inc("b", 2)
+        registry.inc("a", 1)
+        registry.observe("t", 0.5)
+        delta = registry.delta_since(None)
+        document = delta.to_dict()
+        assert list(document["counters"]) == ["a", "b"]
+        json.dumps(document)  # must serialize cleanly
+
+    def test_batch_schema_unchanged(self):
+        """The --metrics JSON document still reports monotonic totals
+        under schema repro.metrics/3 — deltas are a separate view."""
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.snapshot()
+        document = metrics_report(registry, command="analyze", workers=1)
+        assert document["schema"] == "repro.metrics/3"
+        assert document["counters"] == {"a": 2}
+        assert "rates" not in document
