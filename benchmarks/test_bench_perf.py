@@ -487,3 +487,79 @@ def test_perf_elff_roundtrip(benchmark):
 
     count = benchmark(run)
     assert count == 5_000
+
+
+def test_perf_regime_throughput(tmp_path):
+    """Per-regime simulate→analyze throughput, snapshotted to
+    ``BENCH_regimes.json``.
+
+    Every registered regime profile runs the same fused
+    simulate→streaming-analyze pass over an identical workload spec, so
+    the snapshot shows what each appliance model costs relative to the
+    Syrian proxy baseline (the DNS injector and the DPI box skip the
+    cache/categorizer work, so they should be at least as fast).  The
+    assertion layer only pins invariants — same record volume per
+    regime and a sane positive rate — the honest numbers live in the
+    JSON for the benchmark report.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.engine import scenario_context, simulate_into
+    from repro.pipeline import StreamingAnalysisSink
+    from repro.regimes import available_regimes
+    from repro.workload.config import (
+        DEFAULT_BOOSTS,
+        DEFAULT_USER_DAY_BOOST,
+        ScenarioConfig,
+    )
+
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+    regimes = {}
+    totals = set()
+    for name in available_regimes():
+        config = ScenarioConfig(
+            total_requests=scale,
+            seed=2014,
+            boosts=dict(DEFAULT_BOOSTS),
+            user_day_boost=DEFAULT_USER_DAY_BOOST,
+            regime=name,
+        )
+        scenario_context(config)  # warm the context outside the timer
+        best = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            sink, _ = simulate_into(config, StreamingAnalysisSink(),
+                                    workers=1)
+            best = min(best, time.perf_counter() - start)
+        breakdown = sink.analysis.breakdown()
+        total = breakdown.total
+        totals.add(total)
+        regimes[name] = {
+            "seconds": round(best, 4),
+            "records_per_sec": round(total / best),
+            "censored_pct": round(breakdown.censored_pct, 2),
+        }
+        assert total > 0 and best > 0
+
+    # Identical workload spec → identical record volume per regime.
+    assert len(totals) == 1
+    total = totals.pop()
+    snapshot = {
+        "schema": "repro.bench/1",
+        "bench": "regime_throughput",
+        "records": total,
+        "regimes": regimes,
+    }
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_REGIMES_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_regimes.json",
+        )
+    )
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    lines = ", ".join(
+        f"{name} {entry['records_per_sec']:,} rec/s"
+        for name, entry in regimes.items()
+    )
+    print(f"\nregime throughput @ {total:,} records: {lines} -> {out}")

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Seven subcommands cover the simulate → analyze loop and the live
-ingestion service:
+Eight subcommands cover the simulate → analyze loop, the cross-regime
+comparison, and the live ingestion service:
 
 ``repro simulate``
     Generate a scenario and write its logs in the leaked ELFF/CSV
@@ -18,6 +18,12 @@ ingestion service:
 ``repro report``
     Simulate and run the complete paper pipeline, printing the
     condensed report (equivalent to examples/censorship_report.py).
+
+``repro compare``
+    Run one shared workload through several censorship-regime
+    profiles (``--regimes``, default all registered) and print a
+    side-by-side table: block rates, mechanism mix, error surface,
+    and recovered-rule precision/recall per regime.
 
 ``repro verify-run``
     Audit a ``--checkpoint-dir`` run ledger offline: manifest,
@@ -37,6 +43,11 @@ ingestion service:
 (journal completed shards to a durable run ledger) and ``--resume``
 (load verified completed shards from that ledger instead of re-running
 them) — see the "Durability model" section of docs/ARCHITECTURE.md.
+
+``simulate``, ``report``, ``serve``, and ``analyze`` accept
+``--regime`` to select a registered censorship-regime profile
+(default ``syria``); the regime joins the checkpoint fingerprint, so
+``--resume`` refuses to mix shards from different regimes.
 """
 
 from __future__ import annotations
@@ -113,6 +124,26 @@ _RESUME_HELP = "continue the run ledger in --checkpoint-dir: verified " \
                "completed shards are loaded instead of re-run, so the " \
                "finished output is byte-identical to an uninterrupted " \
                "run"
+
+
+_REGIME_HELP = "censorship-regime profile to deploy (default syria; " \
+               "see `repro compare` for the registered profiles)"
+
+
+def _add_regime_flag(command) -> None:
+    """The shared --regime surface (registered regime profiles)."""
+    command.add_argument("--regime", default="syria", metavar="NAME",
+                         help=_REGIME_HELP)
+
+
+def _resolve_regime(name: str):
+    """The registered profile for *name*, or a clean usage error."""
+    from repro.regimes import UnknownRegimeError, get_regime
+
+    try:
+        return get_regime(name)
+    except UnknownRegimeError as error:
+        raise SystemExit(f"error: {error}") from None
 
 
 def _add_resilience_flags(command) -> None:
@@ -235,6 +266,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=_WORKERS_HELP)
     simulate.add_argument("--metrics", type=Path, default=None,
                           help=_METRICS_HELP)
+    _add_regime_flag(simulate)
     _add_resilience_flags(simulate)
     _add_checkpoint_flags(simulate)
     _add_batch_flag(simulate)
@@ -252,6 +284,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=_WORKERS_HELP)
     analyze.add_argument("--metrics", type=Path, default=None,
                          help=_METRICS_HELP)
+    _add_regime_flag(analyze)
     _add_resilience_flags(analyze)
     _add_checkpoint_flags(analyze)
     _add_batch_flag(analyze)
@@ -273,9 +306,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=_WORKERS_HELP)
     report.add_argument("--metrics", type=Path, default=None,
                         help=_METRICS_HELP)
+    _add_regime_flag(report)
     _add_resilience_flags(report)
     _add_checkpoint_flags(report)
     _add_batch_flag(report)
+
+    compare = commands.add_parser(
+        "compare",
+        help="run one workload through several regimes, side by side",
+    )
+    compare.add_argument("--requests", type=int, default=20_000,
+                         help="total request volume per regime "
+                              "(default 20000)")
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--regimes", nargs="+", default=None,
+                         metavar="NAME",
+                         help="regime profiles to compare (default: "
+                              "all registered profiles)")
+    compare.add_argument("--markdown", type=Path, default=None,
+                         help="also write the comparison as a Markdown "
+                              "file")
+    compare.add_argument("--json", type=Path, default=None,
+                         help="also write the comparison as a JSON file")
+    compare.add_argument("--workers", type=_positive_int, default=1,
+                         help=_WORKERS_HELP)
+    compare.add_argument("--metrics", type=Path, default=None,
+                         help=_METRICS_HELP)
+    _add_batch_flag(compare)
 
     verify = commands.add_parser(
         "verify-run",
@@ -314,6 +371,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="shut down cleanly after SECONDS instead of "
                             "waiting for SIGINT/SIGTERM (smoke tests)")
+    _add_regime_flag(serve)
 
     loadgen = commands.add_parser(
         "loadgen", help="drive a running service at a fixed request rate"
@@ -358,13 +416,15 @@ def _load_frames(paths: list[Path], workers: int = 1, metrics=None,
                        batch_size=batch_size)
 
 
-def _analyze_fingerprint(mode: str, paths: list[Path]):
+def _analyze_fingerprint(mode: str, paths: list[Path], regime: str):
     """The analyze fingerprint: the input files *are* the run.
 
     Paths and byte sizes pin identity — an edited or regrown log file
     changes its size in practice, and the artifact hashes catch the
     rest on resume.  ``mode`` separates the streaming and frame
-    pipelines, whose shard results have different shapes.
+    pipelines, whose shard results have different shapes; ``regime``
+    records which deployment's logs these are, so a ``--resume`` under
+    a different ``--regime`` label refuses instead of mixing runs.
     """
     from repro.runstate import run_fingerprint
 
@@ -372,6 +432,7 @@ def _analyze_fingerprint(mode: str, paths: list[Path]):
         f"analyze-{mode}",
         logs=[str(path) for path in paths],
         sizes=[path.stat().st_size for path in paths],
+        regime=regime,
     )
 
 
@@ -379,10 +440,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.engine import simulate_to_logs
     from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
 
+    _resolve_regime(args.regime)
     config = ScenarioConfig(
         total_requests=args.requests,
         seed=args.seed,
         boosts=dict(DEFAULT_BOOSTS) if args.boosts else {},
+        regime=args.regime,
     )
     suffix = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"simulating {args.requests:,} requests "
@@ -394,10 +457,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # The output directory is deliberately not part of the fingerprint:
     # shard artifacts are buffered sinks, so a resumed run may write the
     # finished logs anywhere.  The flags that shape the shard results
-    # (grouping and compression) are.
+    # (grouping and compression) are.  The regime is named as its own
+    # facet (besides being folded into the config digest) so a
+    # cross-regime --resume refusal spells out the mismatched key.
     checkpoint = _checkpoint_for(args, run_fingerprint(
         "simulate",
         config=config_digest(config),
+        regime=config.regime,
         per_proxy=args.per_proxy,
         per_day=args.per_day,
         compress=args.compress,
@@ -426,8 +492,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     for path in args.logs:
         if not path.exists():
             raise SystemExit(f"error: no such log file: {path}")
+    _resolve_regime(args.regime)
     checkpoint = _checkpoint_for(
-        args, _analyze_fingerprint("frames", args.logs)
+        args, _analyze_fingerprint("frames", args.logs, args.regime)
     )
     frame = _load_frames(args.logs, workers=args.workers, metrics=metrics,
                          retry=retry, allow_partial=allow_partial,
@@ -477,8 +544,9 @@ def _analyze_streaming(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: no such log file: {path}")
     metrics, started = _start_metrics(args)
     retry, allow_partial, failures = _fault_args(args)
+    _resolve_regime(args.regime)
     checkpoint = _checkpoint_for(
-        args, _analyze_fingerprint("streaming", args.logs)
+        args, _analyze_fingerprint("streaming", args.logs, args.regime)
     )
     acc, stats = analyze_logs(args.logs, workers=args.workers,
                               metrics=metrics, retry=retry,
@@ -551,10 +619,10 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import build_report
     from repro.engine import build_scenario_sharded
     from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
 
+    profile = _resolve_regime(args.regime)
     print(f"simulating {args.requests:,} requests and running the full "
           "pipeline...")
     metrics, started = _start_metrics(args)
@@ -563,15 +631,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     config = ScenarioConfig(
         total_requests=args.requests, seed=args.seed,
-        boosts=dict(DEFAULT_BOOSTS),
+        boosts=dict(DEFAULT_BOOSTS), regime=args.regime,
     )
     checkpoint = _checkpoint_for(args, run_fingerprint(
-        "report", config=config_digest(config),
+        "report", config=config_digest(config), regime=config.regime,
     ))
     datasets = build_scenario_sharded(
         config, workers=args.workers, metrics=metrics, retry=retry,
         allow_partial=allow_partial, failures=failures,
         checkpoint=checkpoint, batch_size=args.batch_size)
+    if args.regime == "syria":
+        _report_syria(args, datasets, metrics)
+    else:
+        _report_regime(args, profile, datasets)
+    _report_quarantine(failures)
+    _finish_metrics(args, metrics, started)
+    return 0
+
+
+def _report_syria(args, datasets, metrics) -> None:
+    """The full paper pipeline — every table and figure is defined
+    against the Syrian deployment, so this path is Syria-only."""
+    from repro.analysis.report import build_report
+
     report = build_report(datasets)
     full = report.table3["full"]
     print(f"allowed {full.allowed_pct:.2f}%, censored {full.censored_pct:.2f}%")
@@ -579,7 +661,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print("recovered keywords:",
           [k.keyword for k in report.recovered_keywords])
     print("suspected domains:", len(report.table8))
-    _report_quarantine(failures)
     if args.markdown is not None:
         from repro.atomicio import atomic_write_text
         from repro.reporting.markdown import report_to_markdown
@@ -592,6 +673,91 @@ def _cmd_report(args: argparse.Namespace) -> int:
             metrics=metrics,
         ))
         print(f"markdown report -> {args.markdown}")
+
+
+def _report_regime(args, profile, datasets) -> None:
+    """The regime-generic report: breakdown, top censored domains,
+    and the profile's own rule recoveries with precision/recall."""
+    from repro.analysis.overview import top_domains, traffic_breakdown
+
+    breakdown = traffic_breakdown(datasets.full)
+    print(f"regime {profile.name}: "
+          f"{', '.join(profile.mechanisms)}")
+    print(f"allowed {breakdown.allowed_pct:.2f}%, "
+          f"censored {breakdown.censored_pct:.2f}%")
+    domains = top_domains(datasets.full)
+    print("top censored:", [r.domain for r in domains.censored[:5]])
+    recoveries = profile.recover_rules(datasets.full, datasets.policy)
+    for recovery in recoveries:
+        print(f"recovered {recovery.kind}: "
+              f"{len(recovery.recovered)}/{len(recovery.truth)} "
+              f"(precision {recovery.precision:.2f}, "
+              f"recall {recovery.recall:.2f})")
+    if args.markdown is not None:
+        from repro.atomicio import atomic_write_text
+
+        lines = [
+            f"# Censorship report — {profile.name}, "
+            f"{args.requests:,} requests, seed {args.seed}",
+            "",
+            f"- mechanisms: {', '.join(profile.mechanisms)}",
+            f"- allowed: {breakdown.allowed_pct:.2f}%",
+            f"- censored: {breakdown.censored_pct:.2f}%",
+            "",
+            "| Recovery | Recovered/Truth | Precision | Recall |",
+            "| --- | --- | --- | --- |",
+        ]
+        lines += [
+            f"| {r.kind} | {len(r.recovered)}/{len(r.truth)} "
+            f"| {r.precision:.2f} | {r.recall:.2f} |"
+            for r in recoveries
+        ]
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(args.markdown, "\n".join(lines) + "\n")
+        print(f"markdown report -> {args.markdown}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.regimes.compare import (
+        DEFAULT_COMPARE_REGIMES,
+        compare_regimes,
+        comparison_table,
+        comparison_to_json,
+        comparison_to_markdown,
+    )
+    from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+    regimes = tuple(args.regimes) if args.regimes else DEFAULT_COMPARE_REGIMES
+    for name in regimes:
+        _resolve_regime(name)
+    config = ScenarioConfig(
+        total_requests=args.requests, seed=args.seed,
+        boosts=dict(DEFAULT_BOOSTS),
+    )
+    print(f"comparing {', '.join(regimes)} over {args.requests:,} "
+          f"requests (seed {args.seed})...")
+    metrics, started = _start_metrics(args)
+    comparison = compare_regimes(
+        config, regimes, workers=args.workers,
+        batch_size=args.batch_size, metrics=metrics,
+    )
+    print(comparison_table(comparison))
+    if args.markdown is not None:
+        from repro.atomicio import atomic_write_text
+
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(args.markdown, comparison_to_markdown(comparison))
+        print(f"markdown comparison -> {args.markdown}")
+    if args.json is not None:
+        import json
+
+        from repro.atomicio import atomic_write_text
+
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(args.json, json.dumps(
+            comparison_to_json(comparison), indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"json comparison -> {args.json}")
     _finish_metrics(args, metrics, started)
     return 0
 
@@ -600,6 +766,12 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     from repro.runstate import audit_run
 
     audit = audit_run(args.directory)
+    if audit.fingerprint:
+        facets = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(audit.fingerprint.items())
+        )
+        print(f"  fingerprint: {facets}")
     for error in audit.errors:
         print(f"  error: {error}")
     for entry in audit.entries:
@@ -621,12 +793,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import IngestService, WindowStore
 
+    _resolve_regime(args.regime)
     service = IngestService(
         WindowStore(retention_days=args.window_days),
         queue_size=args.queue_size,
         tail_paths=tuple(args.tail),
         poll_interval=args.poll_interval,
         retry_after=args.retry_after,
+        regime=args.regime,
     )
     try:
         asyncio.run(service.serve_forever(
@@ -665,6 +839,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "recover": _cmd_recover,
     "report": _cmd_report,
+    "compare": _cmd_compare,
     "verify-run": _cmd_verify_run,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,

@@ -9,6 +9,7 @@ materializes its record list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -23,8 +24,7 @@ from repro.pipeline import (
     Pipeline,
     RecordsSource,
 )
-from repro.policy.syria import SyrianPolicy, build_syrian_policy
-from repro.proxy import ProxyFleet
+from repro.regimes import ApplianceFleet, get_regime
 from repro.timeline import USER_SLICE_DAYS, day_span
 from repro.workload import ScenarioConfig, TrafficGenerator
 
@@ -40,7 +40,10 @@ class ScenarioDatasets:
     user: LogFrame
     denied: LogFrame
     config: ScenarioConfig
-    policy: SyrianPolicy
+    #: the regime's policy object — :class:`~repro.policy.syria.
+    #: SyrianPolicy` for the default regime, whatever the registered
+    #: profile builds otherwise.
+    policy: Any
     generator: TrafficGenerator
     categorizer: TrustedSourceCategorizer
     sample_fraction: float = DEFAULT_SAMPLE_FRACTION
@@ -89,7 +92,7 @@ def assemble_datasets(
     records_by_day: dict[str, int],
     config: ScenarioConfig,
     generator: TrafficGenerator,
-    policy: SyrianPolicy,
+    policy: Any,
     rng: np.random.Generator,
     sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
 ) -> ScenarioDatasets:
@@ -109,7 +112,7 @@ def assemble_datasets_from_frame(
     records_by_day: dict[str, int],
     config: ScenarioConfig,
     generator: TrafficGenerator,
-    policy: SyrianPolicy,
+    policy: Any,
     rng: np.random.Generator,
     sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
 ) -> ScenarioDatasets:
@@ -143,7 +146,7 @@ def assemble_datasets_from_frame(
 
 def simulate_scenario_frame(
     generator: TrafficGenerator,
-    fleet: ProxyFleet,
+    fleet: ApplianceFleet,
     rng: np.random.Generator,
 ) -> tuple[LogFrame, dict[str, int]]:
     """One fused pass over every log-day of the serial stream layout.
@@ -171,16 +174,14 @@ def build_scenario(
     """Simulate a scenario and assemble its four datasets.
 
     Deterministic for a given config (all randomness flows from
-    ``config.seed``).
+    ``config.seed``); the config's regime profile supplies the
+    workload, policy, and fleet.
     """
     config = config or ScenarioConfig()
-    generator = TrafficGenerator(config)
-    policy = build_syrian_policy(
-        generator.sites,
-        tor_directory=generator.tor_directory,
-        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
-    )
-    fleet = ProxyFleet(policy)
+    profile = get_regime(config.regime)
+    generator = profile.build_workload(config)
+    policy = profile.build_policy(generator)
+    fleet = profile.build_fleet(policy)
 
     rng = np.random.default_rng(config.seed + 1000)
     full, records_by_day = simulate_scenario_frame(generator, fleet, rng)

@@ -2,11 +2,12 @@
 
 Each shard is one fused pipeline pass over one log-day:
 ``DayTrafficSource → FleetStage → AnonymizeStage → <sink>``.  A worker
-rebuilds the scenario context (generator + policy + fleet)
-deterministically from the config — ground truth is a pure function of
-the seed, so every process sees the same universe — and caches it per
-process, so a nine-shard run costs one construction per worker, not
-one per shard.
+rebuilds the scenario context (generator + policy + fleet, all three
+supplied by the config's registered regime profile — see
+:mod:`repro.regimes`) deterministically from the config — ground truth
+is a pure function of the seed, so every process sees the same
+universe — and caches it per process, so a nine-shard run costs one
+construction per worker, not one per shard.
 
 The sink is the caller's choice: :func:`simulate_into` runs the day
 pipelines into fresh copies of any mergeable
@@ -31,6 +32,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -54,9 +56,8 @@ from repro.pipeline import (
     RecordListSink,
     Sink,
 )
-from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.regimes import ApplianceFleet, RegimeProfile, get_regime
 from repro.runstate import RunCheckpoint
-from repro.proxy import ProxyFleet
 from repro.timeline import USER_SLICE_DAYS, day_span
 from repro.workload import TrafficGenerator
 from repro.workload.config import ScenarioConfig
@@ -66,32 +67,37 @@ from repro.workload.config import ScenarioConfig
 class SimContext:
     """The deterministic per-process scenario ground truth."""
 
+    profile: RegimeProfile
     generator: TrafficGenerator
-    policy: SyrianPolicy
-    fleet: ProxyFleet
+    policy: Any
+    fleet: ApplianceFleet
     user_spans: list[tuple[int, int]]
 
 
-#: One cached context per process; keyed by config equality so a pool
-#: reused across configs rebuilds instead of leaking the old universe.
+#: One cached context per process; keyed by config equality (the
+#: ``regime`` field included) so a pool reused across configs rebuilds
+#: instead of leaking the old universe.
 _CONTEXT: tuple[ScenarioConfig, SimContext] | None = None
 
 
 def scenario_context(config: ScenarioConfig) -> SimContext:
-    """Build (or reuse) the scenario context for *config*."""
+    """Build (or reuse) the scenario context for *config*.
+
+    The config's regime profile supplies all three layers: the
+    workload, the policy over its ground truth, and the appliance
+    fleet that filters it.
+    """
     global _CONTEXT
     if _CONTEXT is not None and _CONTEXT[0] == config:
         return _CONTEXT[1]
-    generator = TrafficGenerator(config)
-    policy = build_syrian_policy(
-        generator.sites,
-        tor_directory=generator.tor_directory,
-        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
-    )
+    profile = get_regime(config.regime)
+    generator = profile.build_workload(config)
+    policy = profile.build_policy(generator)
     context = SimContext(
+        profile=profile,
         generator=generator,
         policy=policy,
-        fleet=ProxyFleet(policy),
+        fleet=profile.build_fleet(policy),
         user_spans=[day_span(day) for day in USER_SLICE_DAYS],
     )
     _CONTEXT = (config, context)

@@ -25,7 +25,22 @@ import numpy as np
 
 NO_EXCEPTION = "-"
 
-CENSOR_EXCEPTIONS = frozenset({"policy_denied", "policy_redirect"})
+#: Exception ids that mean "denied by censorship policy".  The first
+#: two are the Blue Coat vocabulary the paper observes in Syria; the
+#: rest are the verdict signatures of the other registered regime
+#: profiles (:mod:`repro.regimes`): Pakistan's injected DNS answers
+#: and HTTP block pages, Turkmenistan's DPI RST teardowns.  Adding an
+#: id here threads it through every mask, breakdown, and streaming
+#: accumulator without touching them.
+CENSOR_EXCEPTIONS = frozenset(
+    {
+        "policy_denied",
+        "policy_redirect",
+        "dns_injected_nxdomain",
+        "http_blockpage",
+        "dpi_rst_teardown",
+    }
+)
 
 # Exception ids that indicate a network/protocol failure rather than a
 # policy decision, with the paper's Table 3 vocabulary.

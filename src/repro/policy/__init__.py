@@ -1,17 +1,31 @@
-"""Blue Coat filtering-policy engine.
+"""Filtering-policy machinery: rules, engine, cache and error models.
 
-Implements the filtering machinery the paper reverse-engineers in
-Sections 5 and 6: keyword (substring) matching over the URL fields,
-domain/host blacklists, destination-IP subnet rules, host-based
-redirects, the custom "Blocked sites" category targeting Facebook
-pages, plus the proxy cache model and the network-error model that
-produce the PROXIED and error traffic of Table 3.
+The rule vocabulary and the first-match-wins :class:`PolicyEngine`
+are regime-neutral building blocks: keyword (substring) matching over
+the URL fields, domain/host blacklists, destination-IP subnet rules,
+host-based redirects, custom-category targeting, plus the proxy cache
+model and the network-error model.  :mod:`repro.policy.extensions`
+adds the compositional rules (categories, ports, time-of-day windows,
+browser types, extensions).
 
-:func:`repro.policy.syria.build_syrian_policy` assembles the concrete
-rule set used by the simulation.
+Concrete deployments assemble these into regime profiles
+(:mod:`repro.regimes`): :func:`repro.policy.syria.build_syrian_policy`
+builds the Blue Coat rule set the paper reverse-engineers in Sections
+5 and 6 — including the custom "Blocked sites" category targeting
+Facebook pages and the cache behaviour behind Table 3's PROXIED
+traffic — while the Pakistani and Turkmen profiles define their own
+DNS-injection and DPI rules over the same :class:`RequestView` /
+:class:`Verdict` contracts.
 """
 
 from repro.policy.engine import PolicyEngine
+from repro.policy.extensions import (
+    BrowserTypeRule,
+    CategoryRule,
+    ExtensionRule,
+    PortRule,
+    TimeOfDayRule,
+)
 from repro.policy.rules import (
     Action,
     DomainBlacklistRule,
@@ -21,6 +35,7 @@ from repro.policy.rules import (
     KeywordRule,
     RedirectHostRule,
     RequestView,
+    TorBlockSchedule,
     TorOnionRule,
     Verdict,
 )
@@ -37,4 +52,10 @@ __all__ = [
     "FacebookPageRule",
     "IPBlacklistRule",
     "TorOnionRule",
+    "TorBlockSchedule",
+    "CategoryRule",
+    "PortRule",
+    "TimeOfDayRule",
+    "BrowserTypeRule",
+    "ExtensionRule",
 ]

@@ -1,0 +1,76 @@
+"""Syria as a regime profile — the paper's deployment, re-homed.
+
+The profile delegates to exactly the construction the pre-regime
+engine hardwired: :func:`repro.policy.syria.build_syrian_policy` over
+the canonical workload's ground truth, filtered by the seven-proxy
+:class:`~repro.proxy.ProxyFleet`.  Byte-identical output to the
+pre-refactor pipeline is pinned differentially in
+``tests/test_regimes.py``, so treat any change to the construction
+order here as an output-breaking change.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stringfilter import (
+    recover_censored_domains,
+    recover_censored_hosts,
+    recover_keywords,
+)
+from repro.frame import LogFrame
+from repro.policy.syria import SyrianPolicy, build_syrian_policy
+from repro.proxy import ProxyFleet
+from repro.regimes.base import RegimeProfile, RuleRecovery, register_regime
+from repro.workload import TrafficGenerator
+
+
+def _build_policy(generator: TrafficGenerator) -> SyrianPolicy:
+    return build_syrian_policy(
+        generator.sites,
+        tor_directory=generator.tor_directory,
+        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
+    )
+
+
+def _recover(frame: LogFrame, policy: SyrianPolicy) -> tuple[RuleRecovery, ...]:
+    """The paper's Section 5.4 recovery, scored against ground truth."""
+    suspected = recover_censored_domains(frame, min_censored=3)
+    exclusion = {
+        row.domain for row in recover_censored_domains(frame, min_censored=1)
+    }
+    hosts = recover_censored_hosts(
+        frame, exclude_domains=exclusion, min_censored=1
+    )
+    keywords = recover_keywords(
+        frame,
+        exclude_domains=exclusion,
+        exclude_hosts={row.host for row in hosts},
+    )
+    return (
+        RuleRecovery(
+            kind="url-domains",
+            recovered=tuple(sorted(row.domain for row in suspected)),
+            truth=tuple(sorted(policy.blocked_domains)),
+        ),
+        RuleRecovery(
+            kind="hosts",
+            recovered=tuple(sorted(row.host for row in hosts)),
+            truth=tuple(sorted(policy.blocked_hosts)),
+        ),
+        RuleRecovery(
+            kind="keywords",
+            recovered=tuple(sorted(k.keyword for k in keywords)),
+            truth=tuple(sorted(policy.keywords)),
+        ),
+    )
+
+
+SYRIA = register_regime(RegimeProfile(
+    name="syria",
+    description="Blue Coat SG-9000 proxy fleet (Summer 2011, the paper)",
+    mechanisms=("url-filtering", "keywords", "ip-subnets", "categories"),
+    censor_exceptions=frozenset({"policy_denied", "policy_redirect"}),
+    build_workload=TrafficGenerator,
+    build_policy=_build_policy,
+    build_fleet=ProxyFleet,
+    recover_rules=_recover,
+))

@@ -443,6 +443,9 @@ class RunAudit:
     directory: Path
     errors: list[str] = field(default_factory=list)
     entries: list[ShardAuditEntry] = field(default_factory=list)
+    #: the manifest's recorded run identity (command, config digest,
+    #: regime, …) — None when the manifest was unreadable.
+    fingerprint: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -480,6 +483,8 @@ def audit_run(directory: Path | str) -> RunAudit:
             f"(expected {LEDGER_SCHEMA!r})"
         )
         return audit
+    stored = manifest.get("fingerprint")
+    audit.fingerprint = stored if isinstance(stored, dict) else None
     planned = manifest.get("shards") or []
     journal = read_journal(directory / JOURNAL_NAME)
     for shard_id in planned:

@@ -8,11 +8,20 @@ design.  These named scenarios make such what-ifs runnable: each
 returns a :class:`~repro.datasets.ScenarioDatasets` built under a
 modified policy, comparable against the baseline with the ordinary
 analysis pipeline.
+
+A transform is regime-agnostic: it receives whatever policy object
+``config.regime``'s registered profile builds (see
+:mod:`repro.regimes`) plus the traffic generator, and returns the
+policy to deploy.  The shipped transforms target the default Syrian
+policy's fields via :func:`dataclasses.replace`, so they also apply
+unchanged to any policy type carrying the same field names.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import replace
+from typing import Any
 
 import numpy as np
 
@@ -26,12 +35,14 @@ from repro.datasets.builder import (
 from repro.policy.engine import PolicyEngine
 from repro.policy.extensions import CategoryRule, TimeOfDayRule
 from repro.policy.rules import TorBlockSchedule, TorOnionRule
-from repro.policy.syria import SyrianPolicy, build_syrian_policy
-from repro.proxy import ProxyFleet
+from repro.regimes import get_regime
 from repro.timeline import day_epoch
 from repro.workload import ScenarioConfig, TrafficGenerator
 
-PolicyTransform = Callable[[SyrianPolicy, TrafficGenerator], SyrianPolicy]
+#: A policy hook: (deployed policy, traffic generator) -> the policy
+#: to run.  The policy type is the regime's own — transforms written
+#: for one regime should check for or document the fields they touch.
+PolicyTransform = Callable[[Any, TrafficGenerator], Any]
 
 
 def build_custom_scenario(
@@ -41,19 +52,17 @@ def build_custom_scenario(
 ) -> ScenarioDatasets:
     """Like :func:`repro.datasets.build_scenario`, with a policy hook.
 
-    *transform* receives the canonical Syrian policy plus the traffic
+    *transform* receives the policy built by ``config.regime``'s
+    profile (the canonical Syrian policy by default) plus the traffic
     generator (for ground-truth artifacts like the Tor directory) and
     returns the policy to deploy.
     """
-    generator = TrafficGenerator(config)
-    policy = build_syrian_policy(
-        generator.sites,
-        tor_directory=generator.tor_directory,
-        extra_blocked_addresses=generator.blocked_anonymizer_addresses(),
-    )
+    profile = get_regime(config.regime)
+    generator = profile.build_workload(config)
+    policy = profile.build_policy(generator)
     if transform is not None:
         policy = transform(policy, generator)
-    fleet = ProxyFleet(policy)
+    fleet = profile.build_fleet(policy)
 
     rng = np.random.default_rng(config.seed + 1000)
     full, records_by_day = simulate_scenario_frame(generator, fleet, rng)
@@ -67,7 +76,7 @@ def build_custom_scenario(
 # Policy transforms
 # ---------------------------------------------------------------------------
 
-def tor_blackout(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+def tor_blackout(policy: Any, generator: TrafficGenerator) -> Any:
     """The December-2012 state: every proxy blocks every Tor OR
     connection, all the time (the paper's remark about relays and
     bridges being blocked)."""
@@ -75,19 +84,14 @@ def tor_blackout(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPol
     end = day_epoch("2011-08-07")
     schedule = TorBlockSchedule([(start, end, 1.0)])
     rule = TorOnionRule(generator.tor_directory.or_endpoints(), schedule)
-    engines = {
-        name: engine.with_rules([rule])
-        for name, engine in policy.proxy_engines.items()
-    }
-    return SyrianPolicy(
+    return replace(
+        policy,
         base_engine=policy.base_engine.with_rules([rule]),
-        proxy_engines=engines,
-        blocked_domains=policy.blocked_domains,
-        blocked_hosts=policy.blocked_hosts,
-        keywords=policy.keywords,
+        proxy_engines={
+            name: engine.with_rules([rule])
+            for name, engine in policy.proxy_engines.items()
+        },
         tor_schedule=schedule,
-        blocked_subnets=policy.blocked_subnets,
-        blocked_addresses=policy.blocked_addresses,
     )
 
 
@@ -99,32 +103,26 @@ def streaming_curfew(
     the evening protest-mobilization hours — the kind of fine-grained
     control the paper notes DPI-capable appliances support."""
 
-    def transform(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+    def transform(policy: Any, generator: TrafficGenerator) -> Any:
         categorizer = TrustedSourceCategorizer(generator.sites)
         rule = TimeOfDayRule(
             CategoryRule([Category.STREAMING_MEDIA], categorizer.categorize),
             start_hour,
             end_hour,
         )
-        engines = {
-            name: engine.with_rules([rule])
-            for name, engine in policy.proxy_engines.items()
-        }
-        return SyrianPolicy(
+        return replace(
+            policy,
             base_engine=policy.base_engine.with_rules([rule]),
-            proxy_engines=engines,
-            blocked_domains=policy.blocked_domains,
-            blocked_hosts=policy.blocked_hosts,
-            keywords=policy.keywords,
-            tor_schedule=policy.tor_schedule,
-            blocked_subnets=policy.blocked_subnets,
-            blocked_addresses=policy.blocked_addresses,
+            proxy_engines={
+                name: engine.with_rules([rule])
+                for name, engine in policy.proxy_engines.items()
+            },
         )
 
     return transform
 
 
-def no_keyword_filtering(policy: SyrianPolicy, generator: TrafficGenerator) -> SyrianPolicy:
+def no_keyword_filtering(policy: Any, generator: TrafficGenerator) -> Any:
     """Remove the keyword engine entirely — the collateral-damage
     counterfactual behind the paper's Section 8 discussion."""
     from repro.policy.rules import KeywordRule
@@ -133,15 +131,12 @@ def no_keyword_filtering(policy: SyrianPolicy, generator: TrafficGenerator) -> S
         rules = [r for r in engine.rules if not isinstance(r, KeywordRule)]
         return PolicyEngine(rules, name=engine.name)
 
-    return SyrianPolicy(
+    return replace(
+        policy,
         base_engine=strip(policy.base_engine),
         proxy_engines={
-            name: strip(engine) for name, engine in policy.proxy_engines.items()
+            name: strip(engine)
+            for name, engine in policy.proxy_engines.items()
         },
-        blocked_domains=policy.blocked_domains,
-        blocked_hosts=policy.blocked_hosts,
         keywords=(),
-        tor_schedule=policy.tor_schedule,
-        blocked_subnets=policy.blocked_subnets,
-        blocked_addresses=policy.blocked_addresses,
     )

@@ -66,10 +66,15 @@ class IngestService:
         tail_paths: tuple[Path | str, ...] = (),
         poll_interval: float = 0.25,
         retry_after: float = 1.0,
+        regime: str = "syria",
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         self.store = store if store is not None else WindowStore()
+        #: Which regime's logs this service ingests — a label surfaced
+        #: on ``/healthz`` (classification is regime-neutral, so the
+        #: fold paths need no switching).
+        self.regime = regime
         self.registry = MetricsRegistry()
         self.read_stats = ReadStats()
         self.tailers = [LogTailer(path) for path in tail_paths]
@@ -317,6 +322,7 @@ class IngestService:
             200,
             {
                 "status": "ok",
+                "regime": self.regime,
                 "uptime_seconds": uptime,
                 "queue_depth": self.queue.qsize(),
                 "max_queue_depth": self.max_queue_depth,

@@ -67,6 +67,10 @@ class ScenarioConfig:
     total_requests: int = 400_000
     days: tuple[str, ...] = LOG_DAYS
     seed: int = 20110804
+    #: Which registered censorship-regime profile filters the traffic
+    #: (see :mod:`repro.regimes`).  The default reproduces the paper's
+    #: Syrian deployment.
+    regime: str = "syria"
     boosts: dict[str, float] = field(default_factory=dict)
     tail_domains: int = 1200
     suspected_domains: int = 84

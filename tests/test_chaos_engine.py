@@ -16,6 +16,7 @@ pins both:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -459,3 +460,51 @@ class TestLazyElffSource:
             next(iterator)
         with pytest.raises(FileNotFoundError):
             next(batches)
+
+
+# -- regime profiles under the same fault plans ------------------------------
+
+class TestRegimeChaosParity:
+    """The resilience layer is regime-agnostic: the Pakistani profile
+    heals transient faults and resumes exactly like the Syrian one."""
+
+    PK = dataclasses.replace(TINY, regime="pakistan")
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_pakistan_day_records_identical_under_faults(self, workers):
+        clean = simulate_day_records(self.PK, workers=1)
+        noisy = simulate_day_records(
+            self.PK, workers=workers, retry=FAST, fault_plan=NOISY
+        )
+        assert noisy == clean
+
+    @pytest.mark.chaos
+    def test_pakistan_cli_byte_identical_under_env_plan(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert main([
+            "simulate", "--requests", "6000", "--seed", "5",
+            "--regime", "pakistan", "--out", str(tmp_path / "clean"),
+        ]) == 0
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=1,rate=1.0")
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", "2")
+        assert main([
+            "simulate", "--requests", "6000", "--seed", "5",
+            "--regime", "pakistan", "--out", str(tmp_path / "noisy"),
+            "--workers", "2", "--batch-size", "64",
+        ]) == 0
+        assert (tmp_path / "noisy" / "proxies.log").read_bytes() == (
+            tmp_path / "clean" / "proxies.log"
+        ).read_bytes()
+
+    def test_pakistan_quarantine_names_the_killed_day(self):
+        victim = self.PK.days[1]
+        failures = ShardFailureReport()
+        partial = simulate_day_records(
+            self.PK, workers=1, retry=FAST,
+            fault_plan=_crash_plan(f"day:{victim}"),
+            allow_partial=True, failures=failures,
+        )
+        assert victim not in partial
+        assert failures.shard_ids() == [f"day:{victim}"]

@@ -1,0 +1,155 @@
+"""Tests for the cross-regime comparison (repro.regimes.compare and
+``repro compare``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.regimes import UnknownRegimeError
+from repro.regimes.compare import (
+    DEFAULT_COMPARE_REGIMES,
+    compare_regimes,
+    comparison_table,
+    comparison_to_json,
+    comparison_to_markdown,
+)
+from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+#: Shared workload: small, boosted, and seeded to make every regime's
+#: mechanisms visible (the same volume/seed the CLI smoke uses).
+CONFIG = ScenarioConfig(
+    total_requests=3_000, seed=7, boosts=dict(DEFAULT_BOOSTS)
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_regimes(CONFIG)
+
+
+class TestCompareRegimes:
+    def test_one_summary_per_regime_in_request_order(self, comparison):
+        assert tuple(s.regime for s in comparison.summaries) == (
+            DEFAULT_COMPARE_REGIMES
+        )
+        assert all(s.total > 0 for s in comparison.summaries)
+
+    def test_identical_workload_across_regimes(self, comparison):
+        """Same config, same seed → every regime saw the same request
+        volume; only the deployment differs."""
+        totals = {s.total for s in comparison.summaries}
+        assert len(totals) == 1
+
+    def test_mechanism_mixes_are_regime_specific(self, comparison):
+        syria = comparison.summary_for("syria")
+        pakistan = comparison.summary_for("pakistan")
+        turkmenistan = comparison.summary_for("turkmenistan")
+        assert syria.mechanism_mix.get("policy_denied", 0) > 0
+        assert pakistan.mechanism_mix.get("dns_injected_nxdomain", 0) > 0
+        assert turkmenistan.mechanism_mix.get("dpi_rst_teardown", 0) > 0
+        # No regime emits another regime's signature.
+        assert "dns_injected_nxdomain" not in syria.mechanism_mix
+        assert "policy_denied" not in pakistan.mechanism_mix
+        assert "policy_denied" not in turkmenistan.mechanism_mix
+
+    def test_only_syria_has_a_proxy_cache(self, comparison):
+        assert comparison.summary_for("syria").proxied_pct > 0
+        assert comparison.summary_for("pakistan").proxied_pct == 0
+        assert comparison.summary_for("turkmenistan").proxied_pct == 0
+
+    def test_every_regime_carries_scored_recoveries(self, comparison):
+        for summary in comparison.summaries:
+            assert summary.recoveries
+            for recovery in summary.recoveries:
+                assert 0.0 <= recovery.precision <= 1.0
+                assert 0.0 <= recovery.recall <= 1.0
+
+    def test_unknown_regime_fails_before_any_simulation(self):
+        with pytest.raises(UnknownRegimeError, match="atlantis"):
+            compare_regimes(CONFIG, ("syria", "atlantis"))
+
+    def test_summary_for_unknown_regime_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.summary_for("atlantis")
+
+
+class TestRenderings:
+    def test_table_covers_all_regimes_and_mechanisms(self, comparison):
+        table = comparison_table(comparison)
+        for name in DEFAULT_COMPARE_REGIMES:
+            assert name in table
+        assert "Regime comparison — 3,000 requests, seed 7" in table
+        assert "mechanism dns_injected_nxdomain" in table
+        assert "mechanism dpi_rst_teardown" in table
+        assert "recovered dns-domains" in table
+        assert "precision dpi-keywords" in table
+
+    def test_markdown_is_a_pipe_table(self, comparison):
+        markdown = comparison_to_markdown(comparison)
+        header = "| Metric | syria | pakistan | turkmenistan |"
+        assert header in markdown
+        assert "| --- | --- | --- | --- |" in markdown
+        for summary in comparison.summaries:
+            assert f"- **{summary.regime}** — {summary.description}" \
+                in markdown
+
+    def test_json_document_shape(self, comparison):
+        document = comparison_to_json(comparison)
+        assert document["schema"] == "repro.compare/1"
+        assert document["requests"] == 3_000 and document["seed"] == 7
+        assert [r["regime"] for r in document["regimes"]] == list(
+            DEFAULT_COMPARE_REGIMES
+        )
+        for entry in document["regimes"]:
+            assert set(entry) >= {
+                "mechanisms", "allowed_pct", "censored_pct",
+                "mechanism_mix", "error_surface", "recoveries",
+            }
+            for recovery in entry["recoveries"]:
+                assert set(recovery) == {
+                    "kind", "recovered", "truth", "precision", "recall",
+                }
+        json.dumps(document)  # JSON-serializable end to end
+
+
+class TestCompareCli:
+    def test_compare_emits_one_table_covering_all_regimes(
+        self, tmp_path, capsys
+    ):
+        markdown = tmp_path / "compare.md"
+        document = tmp_path / "compare.json"
+        assert main([
+            "compare", "--requests", "3000", "--seed", "7",
+            "--workers", "2", "--batch-size", "64",
+            "--markdown", str(markdown), "--json", str(document),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Regime comparison") == 1
+        for name in DEFAULT_COMPARE_REGIMES:
+            assert name in out
+        assert "| Metric | syria | pakistan | turkmenistan |" in (
+            markdown.read_text()
+        )
+        payload = json.loads(document.read_text())
+        assert [r["regime"] for r in payload["regimes"]] == list(
+            DEFAULT_COMPARE_REGIMES
+        )
+
+    def test_compare_subset_of_regimes(self, capsys):
+        assert main([
+            "compare", "--requests", "1500", "--seed", "3",
+            "--regimes", "pakistan", "turkmenistan",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pakistan" in out and "turkmenistan" in out
+        assert "mechanism policy_denied" not in out
+
+    def test_compare_rejects_unknown_regime(self):
+        with pytest.raises(SystemExit, match="unknown regime"):
+            main([
+                "compare", "--requests", "100",
+                "--regimes", "syria", "atlantis",
+            ])

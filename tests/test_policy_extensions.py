@@ -112,3 +112,94 @@ class TestExtensionRule:
     def test_allows_other_extensions(self):
         assert self.rule.evaluate(view(path="/page.html")) is None
         assert self.rule.evaluate(view(path="/no-extension")) is None
+
+
+class TestBatchedPathEquivalence:
+    """CategoryRule / TimeOfDayRule under column-batch execution.
+
+    The extension rules run inside the fleet stage; ``run_batched``
+    must produce exactly the scalar stream at every batch size, and
+    the rules must actually fire (the curfew adds denials that the
+    baseline policy does not have), with every added denial inside
+    the configured window.
+    """
+
+    START_HOUR, END_HOUR = 18, 23
+
+    @classmethod
+    def _frames(cls):
+        import numpy as np
+
+        from repro.pipeline import (
+            AnonymizeStage,
+            FleetStage,
+            FrameSink,
+            Pipeline,
+            RecordsSource,
+        )
+        from repro.proxy import ProxyFleet
+        from repro.regimes import get_regime
+        from repro.scenarios import streaming_curfew
+        from repro.timeline import USER_SLICE_DAYS, day_span
+        from repro.workload.config import small_config
+
+        if hasattr(cls, "_cache"):
+            return cls._cache
+        config = small_config(2_000, seed=11)
+        profile = get_regime("syria")
+        generator = profile.build_workload(config)
+        baseline_policy = profile.build_policy(generator)
+        curfew_policy = streaming_curfew(cls.START_HOUR, cls.END_HOUR)(
+            baseline_policy, generator
+        )
+        requests = [
+            request
+            for _, day_requests in generator.generate()
+            for request in day_requests
+        ]
+        spans = [day_span(day) for day in USER_SLICE_DAYS]
+
+        def run(policy, batch_size):
+            pipeline = Pipeline(
+                RecordsSource(requests),
+                (
+                    FleetStage(ProxyFleet(policy), np.random.default_rng(3)),
+                    AnonymizeStage(spans),
+                ),
+            )
+            sink = FrameSink()
+            if batch_size is None:
+                pipeline.run(sink)
+            else:
+                pipeline.run_batched(sink, batch_size)
+            return sink.frame()
+
+        cls._cache = (
+            run(baseline_policy, None),
+            run(curfew_policy, None),
+            {size: run(curfew_policy, size) for size in (1, 7, 64)},
+        )
+        return cls._cache
+
+    def test_batched_equals_scalar_at_every_batch_size(self):
+        _, scalar, batched = self._frames()
+        for size, frame in batched.items():
+            assert len(frame) == len(scalar), size
+            for column in (
+                "sc_filter_result", "x_exception_id", "sc_status",
+                "s_action", "cs_host", "epoch", "c_ip",
+            ):
+                assert (frame.col(column) == scalar.col(column)).all(), (
+                    size, column
+                )
+
+    def test_curfew_rules_fired_only_inside_the_window(self):
+        baseline, curfew, _ = self._frames()
+        base_exceptions = baseline.col("x_exception_id")
+        curfew_exceptions = curfew.col("x_exception_id")
+        added = (curfew_exceptions == "policy_denied") & (
+            base_exceptions == "-"
+        )
+        assert added.any()  # CategoryRule × TimeOfDayRule really ran
+        hours = (curfew.col("epoch")[added] % 86_400) // 3_600
+        assert ((hours >= self.START_HOUR) & (hours < self.END_HOUR)).all()

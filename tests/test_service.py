@@ -536,3 +536,24 @@ class TestLoadGenerator:
             LoadGenerator("h", 1, rate=0, total=1)
         with pytest.raises(ValueError):
             LoadGenerator("h", 1, rate=1, total=0)
+
+
+class TestHealthzRegime:
+    """/healthz surfaces the service's regime label (classification is
+    regime-neutral, so the label is provenance, not behaviour)."""
+
+    @staticmethod
+    async def _health(service):
+        url = f"http://{service.host}:{service.port}"
+        _, health = await asyncio.to_thread(_get, url + "/healthz")
+        return health
+
+    def test_default_regime_is_syria(self):
+        health = asyncio.run(_with_service(self._health))
+        assert health["regime"] == "syria"
+
+    def test_regime_label_is_configurable(self):
+        health = asyncio.run(
+            _with_service(self._health, regime="pakistan")
+        )
+        assert health["regime"] == "pakistan"
