@@ -473,6 +473,144 @@ def test_perf_batched_vs_scalar_analyze(tmp_path):
         assert speedup >= 2.5
 
 
+def test_perf_distributed_lease_queue(tmp_path):
+    """Lease-queue distributed execution at 1/2/4 workers plus the
+    cost of a lease reclaim, snapshotted to ``BENCH_distributed.json``.
+
+    Every worker count must merge to the exact bytes of the serial
+    ``simulate_to_logs`` baseline — that invariant is asserted, the
+    throughput numbers are recorded.  Distributed wall clock includes
+    real worker-process startup (a ``python -m repro work`` interpreter
+    per worker), so one worker is expected to trail the in-process
+    serial path; the snapshot makes that overhead visible instead of
+    hiding it.  The reclaim number times an otherwise identical
+    one-worker run whose first shard starts under an already-expired
+    lease from a dead claimant, so the delta is the requeue-and-re-run
+    detour alone.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.dispatch import WorkQueue, run_distributed, simulate_job_for
+    from repro.engine import simulate_to_logs
+    from repro.runstate import RunCheckpoint
+    from repro.workload.config import (
+        DEFAULT_BOOSTS,
+        DEFAULT_USER_DAY_BOOST,
+        ScenarioConfig,
+    )
+
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "200000"))
+    config = ScenarioConfig(
+        total_requests=scale,
+        seed=2014,
+        boosts=dict(DEFAULT_BOOSTS),
+        user_day_boost=DEFAULT_USER_DAY_BOOST,
+    )
+
+    start = time.perf_counter()
+    written = simulate_to_logs(config, tmp_path / "serial", per_day=True)
+    serial_seconds = time.perf_counter() - start
+    total = sum(count for _, count in written)
+    baseline = {path.name: path.read_bytes() for path, _ in written}
+
+    def merged_bytes(out_dir):
+        return {
+            path.name: path.read_bytes()
+            for path in sorted(Path(out_dir).iterdir())
+        }
+
+    def timed_run(tag, spawn, prepare=None):
+        out_dir = tmp_path / f"out-{tag}"
+        queue_dir = tmp_path / f"queue-{tag}"
+        job = simulate_job_for(config, out_dir, per_day=True)
+        resume = False
+        if prepare is not None:
+            prepare(job, queue_dir)
+            resume = True
+        start = time.perf_counter()
+        result = run_distributed(
+            job, queue_dir, spawn=spawn, resume=resume
+        )
+        seconds = time.perf_counter() - start
+        assert merged_bytes(out_dir) == baseline  # byte-identical merge
+        return result, seconds
+
+    fleet = {}
+    for spawn in (1, 2, 4):
+        result, seconds = timed_run(f"w{spawn}", spawn)
+        assert result.counters.get("dispatch.shards.completed", 0) >= (
+            len(result.labels)
+        )
+        fleet[str(spawn)] = {
+            "seconds": round(seconds, 4),
+            "records_per_sec": round(total / seconds),
+            "lease_granted": result.counters.get(
+                "dispatch.lease.granted", 0
+            ),
+        }
+
+    def plant_expired_lease(job, queue_dir):
+        """Seed the queue and leave the first shard claimed by a dead
+        worker whose lease already expired."""
+        checkpoint = RunCheckpoint(queue_dir, job.fingerprint())
+        checkpoint.begin(job.labels())
+        checkpoint.close()
+        queue = WorkQueue(queue_dir, worker_id="bench-dead")
+        queue.seed(job.to_spec(), ttl=30.0)
+        victim = job.labels()[0]
+        lease = queue.try_claim(victim)
+        assert lease is not None
+        queue.lease_path(victim).write_text(
+            json.dumps({**lease.to_dict(), "deadline": time.time() - 60.0})
+        )
+
+    churn, churn_seconds = timed_run("reclaim", 1, plant_expired_lease)
+    assert churn.counters.get("dispatch.lease.expired", 0) >= 1
+    assert churn.counters.get("dispatch.lease.reclaimed", 0) >= 1
+    reclaim_overhead = churn_seconds - fleet["1"]["seconds"]
+
+    snapshot = {
+        "schema": "repro.bench/1",
+        "bench": "distributed_lease_queue",
+        "records": total,
+        "shards": len(churn.labels),
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "records_per_sec": round(total / serial_seconds),
+        },
+        "workers": fleet,
+        "reclaim": {
+            "seconds": round(churn_seconds, 4),
+            "records_per_sec": round(total / churn_seconds),
+            "overhead_vs_one_worker_seconds": round(reclaim_overhead, 4),
+            "leases_reclaimed": churn.counters.get(
+                "dispatch.lease.reclaimed", 0
+            ),
+        },
+    }
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_DISTRIBUTED_OUT",
+            Path(__file__).resolve().parent.parent
+            / "BENCH_distributed.json",
+        )
+    )
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    lines = ", ".join(
+        f"{spawn}w {entry['records_per_sec']:,} rec/s"
+        for spawn, entry in fleet.items()
+    )
+    print(
+        f"\ndistributed @ {total:,} records / {len(churn.labels)} shards: "
+        f"serial {total / serial_seconds:,.0f} rec/s, {lines}; "
+        f"reclaim detour +{reclaim_overhead:.2f}s -> {out}"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        # More workers must not be slower end to end (startup included).
+        assert fleet["4"]["seconds"] < fleet["1"]["seconds"]
+
+
 def test_perf_elff_roundtrip(benchmark):
     records = [
         make_record(cs_host=f"host{i % 50}.com", epoch=1312329600 + i)

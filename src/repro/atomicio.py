@@ -36,16 +36,31 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 
-def tmp_path_for(path: Path | str) -> Path:
-    """The sibling tmp name ``<name>.tmp`` a write stages through."""
+def tmp_path_for(path: Path | str, *, unique: bool = False) -> Path:
+    """The sibling tmp name a write stages through.
+
+    The default ``<name>.tmp`` is deterministic (handy for tests and
+    crash-leftover cleanup); ``unique=True`` suffixes the writer's pid
+    so two *processes* staging the same final path never interleave
+    writes into one tmp file — required by the distributed dispatcher,
+    where a reclaimed shard may briefly be written by two workers.
+    """
     path = Path(path)
-    return path.with_name(path.name + ".tmp")
+    suffix = f".{os.getpid()}.tmp" if unique else ".tmp"
+    return path.with_name(path.name + suffix)
 
 
-def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
-    """Write *data* to *path* atomically; returns the final path."""
+def atomic_write_bytes(
+    path: Path | str, data: bytes, *, unique_tmp: bool = False
+) -> Path:
+    """Write *data* to *path* atomically; returns the final path.
+
+    ``unique_tmp=True`` stages through a pid-unique tmp name, making
+    the write safe against a concurrent writer of the same final path
+    (last ``os.replace`` wins, both leave complete bytes).
+    """
     path = Path(path)
-    staging = tmp_path_for(path)
+    staging = tmp_path_for(path, unique=unique_tmp)
     with open(staging, "wb") as handle:
         handle.write(data)
         handle.flush()

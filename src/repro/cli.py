@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Eight subcommands cover the simulate → analyze loop, the cross-regime
-comparison, and the live ingestion service:
+Ten subcommands cover the simulate → analyze loop, the cross-regime
+comparison, the live ingestion service, and distributed execution:
 
 ``repro simulate``
     Generate a scenario and write its logs in the leaked ELFF/CSV
@@ -38,6 +38,20 @@ comparison, and the live ingestion service:
 ``repro loadgen``
     Drive a running service at a fixed request rate with synthetic
     ELFF payloads, printing live throughput and a final summary.
+    429 responses are retried with a capped ``Retry-After`` backoff;
+    deferred sends are counted separately in the live deltas.
+
+``repro run-distributed``
+    Coordinate a distributed simulate: plan shards, seed a lease
+    queue in ``--queue-dir``, spawn (or wait for) ``repro work``
+    processes, and merge the results byte-identically to a
+    single-box run (see the "Distributed execution" section of
+    docs/ARCHITECTURE.md).
+
+``repro work``
+    One distributed worker: lease unfinished shards from a queue
+    directory, renew heartbeats while executing, record completions
+    into the shared run ledger, and exit when the run is done.
 
 ``simulate``, ``analyze``, and ``report`` accept ``--checkpoint-dir``
 (journal completed shards to a durable run ledger) and ``--resume``
@@ -332,6 +346,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=_WORKERS_HELP)
     compare.add_argument("--metrics", type=Path, default=None,
                          help=_METRICS_HELP)
+    _add_resilience_flags(compare)
     _add_batch_flag(compare)
 
     verify = commands.add_parser(
@@ -340,6 +355,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("directory", type=Path,
                         help="the checkpoint directory to audit")
+    verify.add_argument("--json", action="store_true",
+                        help="print the audit as machine-readable JSON "
+                             "(fingerprint, completed/pending/damaged "
+                             "shard lists) instead of the text table; "
+                             "exit-code semantics are unchanged")
 
     serve = commands.add_parser(
         "serve", help="run the live ELFF ingestion service"
@@ -399,6 +419,87 @@ def _build_parser() -> argparse.ArgumentParser:
                               "offered rate is worker-count-invariant)")
     loadgen.add_argument("--quiet", action="store_true",
                          help="suppress the live per-interval output")
+    loadgen.add_argument("--retry-after-cap", type=_positive_float,
+                         default=5.0, metavar="SECONDS",
+                         help="ceiling on the per-request backoff grown "
+                              "from the service's Retry-After header "
+                              "across consecutive 429s (default 5)")
+
+    distributed = commands.add_parser(
+        "run-distributed",
+        help="coordinate a multi-worker simulate over a lease queue",
+    )
+    distributed.add_argument("--requests", type=int, default=50_000,
+                             help="total request volume (default 50000)")
+    distributed.add_argument("--seed", type=int, default=2011)
+    distributed.add_argument("--out", type=Path, required=True,
+                             help="output directory for the log files")
+    distributed.add_argument("--per-proxy", action="store_true",
+                             help="one file per proxy (like the leak)")
+    distributed.add_argument("--per-day", action="store_true",
+                             help="split files further by log day")
+    distributed.add_argument("--boosts", action="store_true",
+                             help="oversample rare traffic components")
+    distributed.add_argument("--compress", action="store_true",
+                             help="write gzip-compressed logs (.log.gz)")
+    distributed.add_argument("--queue-dir", type=Path, required=True,
+                             metavar="DIR",
+                             help="shared ledger + lease-queue directory "
+                                  "(every worker must see this path)")
+    distributed.add_argument("--spawn", type=_nonnegative_int, default=2,
+                             metavar="N",
+                             help="local worker processes to start "
+                                  "(default 2; 0 = workers are started "
+                                  "elsewhere with `repro work DIR`)")
+    distributed.add_argument("--lease-ttl", type=_positive_float,
+                             default=None, metavar="SECONDS",
+                             help="lease time-to-live before a shard is "
+                                  "reclaimable (default: REPRO_LEASE_TTL "
+                                  "or 30)")
+    distributed.add_argument("--wait-timeout", type=_positive_float,
+                             default=None, metavar="SECONDS",
+                             help="abort if the run is still incomplete "
+                                  "after SECONDS (default: wait forever)")
+    distributed.add_argument("--poll-interval", type=_positive_float,
+                             default=0.2, metavar="SECONDS",
+                             help="journal poll cadence (default 0.2)")
+    distributed.add_argument("--status-port", type=_nonnegative_int,
+                             default=None, metavar="PORT",
+                             help="serve /healthz + /workers progress on "
+                                  "PORT (0 picks a free port and prints "
+                                  "it)")
+    distributed.add_argument("--resume", action="store_true",
+                             help="continue an interrupted distributed "
+                                  "run in --queue-dir (verified completed "
+                                  "shards are not re-run)")
+    distributed.add_argument("--metrics", type=Path, default=None,
+                             help=_METRICS_HELP)
+    _add_regime_flag(distributed)
+    _add_batch_flag(distributed)
+
+    work = commands.add_parser(
+        "work",
+        help="run one distributed worker against a queue directory",
+    )
+    work.add_argument("directory", type=Path,
+                      help="the shared queue directory a coordinator "
+                           "seeded (or will seed)")
+    work.add_argument("--worker-id", default=None, metavar="ID",
+                      help="stable worker identity (default <host>:<pid>)")
+    work.add_argument("--poll-interval", type=_positive_float, default=0.2,
+                      metavar="SECONDS",
+                      help="idle poll cadence (default 0.2)")
+    work.add_argument("--startup-timeout", type=_positive_float,
+                      default=None, metavar="SECONDS",
+                      help="give up if no coordinator seeds the queue "
+                           "within SECONDS (default: wait forever)")
+    work.add_argument("--max-idle", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="give up after idling SECONDS while other "
+                           "workers hold every remaining lease "
+                           "(default: trust lease expiry and wait)")
+    work.add_argument("--metrics", type=Path, default=None,
+                      help=_METRICS_HELP)
     return parser
 
 
@@ -737,11 +838,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"comparing {', '.join(regimes)} over {args.requests:,} "
           f"requests (seed {args.seed})...")
     metrics, started = _start_metrics(args)
+    retry, allow_partial, failures = _fault_args(args)
     comparison = compare_regimes(
         config, regimes, workers=args.workers,
         batch_size=args.batch_size, metrics=metrics,
+        retry=retry, allow_partial=allow_partial, failures=failures,
     )
     print(comparison_table(comparison))
+    _report_quarantine(failures)
     if args.markdown is not None:
         from repro.atomicio import atomic_write_text
 
@@ -766,6 +870,11 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     from repro.runstate import audit_run
 
     audit = audit_run(args.directory)
+    if args.json:
+        import json
+
+        print(json.dumps(audit.to_json(), indent=2, sort_keys=True))
+        return 0 if audit.ok else 1
     if audit.fingerprint:
         facets = ", ".join(
             f"{key}={value}"
@@ -822,6 +931,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         rate=args.rate, total=args.requests,
         lines_per_request=args.lines, days=args.days,
         workers=args.workers, quiet=args.quiet,
+        retry_after_cap=args.retry_after_cap,
     )
     try:
         summary = asyncio.run(generator.run())
@@ -834,6 +944,87 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_distributed(args: argparse.Namespace) -> int:
+    from repro.dispatch import (
+        lease_ttl_from_env,
+        run_distributed,
+        simulate_job_for,
+    )
+    from repro.workload.config import DEFAULT_BOOSTS, ScenarioConfig
+
+    _resolve_regime(args.regime)
+    config = ScenarioConfig(
+        total_requests=args.requests,
+        seed=args.seed,
+        boosts=dict(DEFAULT_BOOSTS) if args.boosts else {},
+        regime=args.regime,
+    )
+    job = simulate_job_for(
+        config, args.out,
+        per_proxy=args.per_proxy, per_day=args.per_day,
+        compress=args.compress, batch_size=args.batch_size,
+    )
+    ttl = args.lease_ttl if args.lease_ttl is not None \
+        else lease_ttl_from_env()
+    metrics, started = _start_metrics(args)
+    server = None
+    if args.status_port is not None:
+        from repro.service import WorkerStatusServer
+
+        server = WorkerStatusServer(
+            args.queue_dir, port=args.status_port
+        ).start()
+        print(f"status -> http://127.0.0.1:{server.port}/healthz")
+    print(f"distributing {args.requests:,} requests over "
+          f"{args.spawn} spawned worker(s), lease TTL {ttl:g}s "
+          f"(queue {args.queue_dir})...")
+    try:
+        run = run_distributed(
+            job, args.queue_dir,
+            spawn=args.spawn, ttl=ttl, resume=args.resume,
+            metrics=metrics, poll_interval=args.poll_interval,
+            wait_timeout=args.wait_timeout,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+    for path, count in run.output:
+        print(f"  wrote {path} ({count:,} records)")
+    if run.resumed:
+        print(f"  resumed {run.resumed} completed shard(s) from the ledger")
+    if run.inline_shards:
+        print(f"  coordinator finished {run.inline_shards} shard(s) "
+              "inline after every spawned worker exited")
+    c = run.counters
+    print(f"leases: {c.get('dispatch.lease.granted', 0)} granted, "
+          f"{c.get('dispatch.lease.renewed', 0)} renewed, "
+          f"{c.get('dispatch.lease.expired', 0)} expired, "
+          f"{c.get('dispatch.lease.reclaimed', 0)} reclaimed, "
+          f"{c.get('dispatch.shards.requeued', 0)} requeued")
+    _finish_metrics(args, metrics, started)
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.dispatch import run_worker
+
+    metrics, started = _start_metrics(args)
+    summary = run_worker(
+        args.directory,
+        worker_id=args.worker_id,
+        metrics=metrics,
+        poll_interval=args.poll_interval,
+        startup_timeout=args.startup_timeout,
+        max_idle=args.max_idle,
+    )
+    extra = f", {summary.lost} lease(s) lost" if summary.lost else ""
+    print(f"worker {summary.worker_id}: {summary.executed} shard(s), "
+          f"{summary.records:,} records, "
+          f"{summary.wall_seconds:.2f}s shard time{extra}")
+    _finish_metrics(args, metrics, started)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -843,19 +1034,23 @@ _COMMANDS = {
     "verify-run": _cmd_verify_run,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "run-distributed": _cmd_run_distributed,
+    "work": _cmd_work,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    from repro.dispatch.queue import DispatchError
     from repro.runstate import RunStateError
 
     try:
         return _COMMANDS[args.command](args)
-    except RunStateError as error:
-        # Fingerprint mismatch, foreign ledger, live lock: refuse
-        # cleanly with the ledger's explanation instead of a traceback.
+    except (RunStateError, DispatchError) as error:
+        # Fingerprint mismatch, foreign ledger, live lock, queue
+        # mismatch, stalled distributed run: refuse cleanly with the
+        # explanation instead of a traceback.
         raise SystemExit(f"error: {error}") from error
 
 

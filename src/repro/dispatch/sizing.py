@@ -1,0 +1,68 @@
+"""Adaptive chunk sizing: how many leases a worker claims per cycle.
+
+A lease is a promise to finish work before a deadline, so the right
+claim size is a function of measured shard throughput: claim so much
+that the chunk completes in a comfortable fraction of the TTL, and no
+more — over-claiming is exactly what turns one slow worker into a
+stalled run (its surplus shards sit leased-but-idle until expiry).
+
+The estimator is an exponential moving average of observed per-shard
+wall seconds (the same measurement the per-shard
+:class:`~repro.metrics.ShardMetrics` rows record), deliberately simple
+and deterministic: no wall-clock reads of its own, no randomness —
+feed it the same observations and it sizes the same chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AdaptiveChunker:
+    """EMA-driven chunk sizing against a wall-time budget.
+
+    ``target_seconds`` is the work a chunk should amount to (the
+    dispatcher uses half the lease TTL, leaving the other half as
+    renewal slack).  Until the first observation arrives the chunker
+    claims one shard at a time — the probe that seeds the estimate.
+    """
+
+    target_seconds: float
+    min_chunk: int = 1
+    max_chunk: int = 8
+    alpha: float = 0.4
+    _mean_seconds: float | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.target_seconds <= 0:
+            raise ValueError(
+                f"target_seconds must be > 0, got {self.target_seconds}"
+            )
+        if not 1 <= self.min_chunk <= self.max_chunk:
+            raise ValueError(
+                f"need 1 <= min_chunk <= max_chunk, got "
+                f"{self.min_chunk}..{self.max_chunk}"
+            )
+
+    @property
+    def mean_seconds(self) -> float | None:
+        """The current per-shard wall-time estimate (None = unseeded)."""
+        return self._mean_seconds
+
+    def observe(self, wall_seconds: float) -> None:
+        """Fold one completed shard's wall time into the estimate."""
+        wall_seconds = max(0.0, wall_seconds)
+        if self._mean_seconds is None:
+            self._mean_seconds = wall_seconds
+        else:
+            self._mean_seconds += self.alpha * (
+                wall_seconds - self._mean_seconds
+            )
+
+    def chunk_size(self) -> int:
+        """How many shards to lease in the next claim cycle."""
+        if not self._mean_seconds:  # unseeded, or shards too fast to time
+            return self.min_chunk
+        fitting = int(self.target_seconds / self._mean_seconds)
+        return max(self.min_chunk, min(self.max_chunk, fitting))

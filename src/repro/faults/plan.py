@@ -44,6 +44,7 @@ FAULT_SITES = (
     "elff.source",   # ElffSource pipeline iteration start
     "elff.read",     # path-level ELFF read (read_log)
     "gzip.open",     # gzip-transparent reader open
+    "worker.kill",   # dispatch worker, after lease grant / before work
 )
 
 
@@ -90,11 +91,14 @@ class FaultRule:
 
     ``shard_id=None`` matches every shard at the site; otherwise the
     rule fires only for the exact shard label (``day:2011-08-03``,
-    ``log:sg-42.log``).  ``transient`` and ``slow`` faults honour
-    ``fail_attempts`` — they fire while ``attempt < fail_attempts`` and
-    then stop, which is what makes them retry-survivable.  ``crash``
-    and ``corrupt`` fire on every attempt (a dead worker stays dead, a
-    corrupt file stays corrupt), which is what exercises quarantine.
+    ``log:sg-42.log``).  ``transient``, ``slow`` and ``kill`` faults
+    honour ``fail_attempts`` — they fire while ``attempt <
+    fail_attempts`` and then stop, which is what makes them
+    retry-survivable (for ``kill``, what lets a reclaimed lease's
+    re-run land on a "healthy node" instead of dying forever).
+    ``crash`` and ``corrupt`` fire on every attempt (a dead worker
+    stays dead, a corrupt file stays corrupt), which is what exercises
+    quarantine.
     """
 
     site: str
@@ -178,6 +182,12 @@ class FaultPlan:
                     time.sleep(rule.delay_seconds)
                 continue
             if rule.kind == "kill":
+                if attempt >= rule.fail_attempts:
+                    # A later attempt of the same shard — the retry of
+                    # a resumed run, or a reclaimed lease in the
+                    # distributed dispatcher — survives, mirroring how
+                    # a re-scheduled shard lands on a healthy node.
+                    continue
                 # Real process death, not an exception: the worker (or
                 # the serial parent) dies mid-run exactly like an OOM
                 # kill or a lost node, leaving whatever the run ledger

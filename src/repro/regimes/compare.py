@@ -96,12 +96,23 @@ def compare_regimes(
     workers: int = 1,
     batch_size: int | None = None,
     metrics=None,
+    retry=None,
+    allow_partial: bool = False,
+    failures=None,
+    fault_plan=None,
 ) -> RegimeComparison:
     """Run the shared workload through every regime and summarize.
 
     Each regime gets ``replace(config, regime=name)`` — same volume,
     same seed, same days — so every difference in the table is the
     deployment's doing, not the workload's.
+
+    *retry*, *allow_partial*, *failures*, and *fault_plan* thread
+    through to every regime's :func:`run_sharded` dispatch, so a
+    comparison under chaos behaves like any other sharded command:
+    with ``allow_partial=True`` a quarantined day drops out of that
+    regime's datasets (its summary covers the surviving days; the
+    shared *failures* report names which shards, per regime).
     """
     from repro.engine.simulate import build_scenario_sharded
 
@@ -114,6 +125,10 @@ def compare_regimes(
             workers=workers,
             batch_size=batch_size,
             metrics=metrics,
+            retry=retry,
+            allow_partial=allow_partial,
+            failures=failures,
+            fault_plan=fault_plan,
         )
         summaries.append(summarize_regime(name, datasets))
     return RegimeComparison(config=config, summaries=tuple(summaries))

@@ -18,7 +18,11 @@ The CLI surface is ``--checkpoint-dir``/``--resume`` on
 """
 
 from repro.runstate.ledger import (
+    ARTIFACT_DIR,
+    JOURNAL_NAME,
     LEDGER_SCHEMA,
+    LOCK_NAME,
+    MANIFEST_NAME,
     CheckpointLocked,
     FingerprintMismatch,
     LedgerExists,
@@ -27,6 +31,7 @@ from repro.runstate.ledger import (
     RunStateError,
     ShardArtifact,
     ShardAuditEntry,
+    append_journal_entry,
     artifact_name,
     audit_run,
     config_digest,
@@ -35,7 +40,12 @@ from repro.runstate.ledger import (
 )
 
 __all__ = [
+    "append_journal_entry",
+    "ARTIFACT_DIR",
+    "JOURNAL_NAME",
     "LEDGER_SCHEMA",
+    "LOCK_NAME",
+    "MANIFEST_NAME",
     "CheckpointLocked",
     "FingerprintMismatch",
     "LedgerExists",

@@ -29,7 +29,11 @@ layout:
 ``LOCK``
     Holds the owning pid.  A second run on the same directory is
     refused while the owner is alive; a lock whose pid is dead is
-    stale and silently reclaimed.
+    stale and silently reclaimed.  Reclaim is atomic: a contender
+    renames the stale lock aside to a pid-unique tomb name before
+    re-competing on the ``O_EXCL`` create, so when two processes race
+    for the same stale lock exactly one ends up holding the directory
+    and the other sees :class:`CheckpointLocked`.
 
 :class:`RunCheckpoint` is the engine-facing object
 (``run_sharded(checkpoint=...)``): :meth:`begin` verifies the
@@ -167,6 +171,27 @@ def read_journal(path: Path) -> dict[str, dict]:
     return entries
 
 
+def append_journal_entry(path: Path, entry: Mapping) -> None:
+    """Append one fsync'd JSON line to a journal at *path*.
+
+    Safe for concurrent appenders: the line lands via a single
+    ``os.write`` on an ``O_APPEND`` descriptor, which POSIX makes
+    atomic for line-sized writes — distributed workers share one
+    journal without a lock, and a reader sees whole lines (or one torn
+    tail, which :func:`read_journal` skips).
+    """
+    data = (json.dumps(dict(entry)) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, data)
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+    finally:
+        os.close(fd)
+
+
 class RunCheckpoint:
     """Durable checkpoint/resume for one :func:`run_sharded` dispatch.
 
@@ -188,7 +213,6 @@ class RunCheckpoint:
         self.directory = Path(directory)
         self.fingerprint = _canonical(dict(fingerprint))
         self.resume = resume
-        self._journal_handle = None
         self._locked = False
 
     # -- paths -------------------------------------------------------------
@@ -213,12 +237,23 @@ class RunCheckpoint:
 
     def _acquire_lock(self) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        while True:
-            try:
-                fd = os.open(
-                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
-            except FileExistsError:
+        # The lock is created by hard-linking a pid-unique tmp file
+        # that already contains our pid: like O_EXCL, link picks
+        # exactly one winner, but the lock becomes visible with its
+        # owner already recorded — no window where a contender can
+        # read a freshly created, still-empty lock and misjudge it
+        # stale.
+        tmp = self.lock_path.with_name(f"{LOCK_NAME}.{os.getpid()}.tmp")
+        tmp.write_text(str(os.getpid()))
+        try:
+            while True:
+                try:
+                    os.link(tmp, self.lock_path)
+                except FileExistsError:
+                    pass
+                else:
+                    self._locked = True
+                    return
                 owner = self._lock_owner()
                 if owner is not None:
                     raise CheckpointLocked(
@@ -227,19 +262,44 @@ class RunCheckpoint:
                         "refusing a concurrent run"
                     ) from None
                 # Stale lock: the recorded pid is gone (that is the
-                # crash this module exists for) — reclaim it.
-                self.lock_path.unlink(missing_ok=True)
-                continue
-            with os.fdopen(fd, "w") as handle:
-                handle.write(str(os.getpid()))
-            self._locked = True
-            return
+                # crash this module exists for) — reclaim it.  The
+                # reclaim must be atomic: a bare unlink would let two
+                # contenders each remove-and-create, both believing
+                # they won.  Renaming the stale file aside to a
+                # pid-unique tomb succeeds for exactly one contender
+                # (the other gets ENOENT), and either way the winner is
+                # decided by the link create on the next loop pass.
+                tomb = self.lock_path.with_name(
+                    f"{LOCK_NAME}.stale-{os.getpid()}"
+                )
+                try:
+                    os.rename(self.lock_path, tomb)
+                except FileNotFoundError:
+                    continue  # lost the rename race; re-compete
+                # The lock we tombed may not be the stale one we
+                # inspected: a rival can reclaim the stale lock and
+                # install its own between our staleness check and our
+                # rename.  The tomb's content says whose lock we took —
+                # a live owner means we must put it back (link never
+                # clobbers a newer lock) and re-compete, which raises
+                # CheckpointLocked against the restored owner.
+                if self._lock_owner(tomb) is not None:
+                    try:
+                        os.link(tomb, self.lock_path)
+                    except FileExistsError:
+                        # A third contender locked meanwhile.  Leave
+                        # the tomb so the displaced owner's lock stays
+                        # inspectable rather than silently vanishing.
+                        continue
+                tomb.unlink(missing_ok=True)
+        finally:
+            tmp.unlink(missing_ok=True)
 
-    def _lock_owner(self) -> int | None:
-        """The live pid holding the lock, or None if the lock is
-        stale/unreadable."""
+    def _lock_owner(self, path: Path | None = None) -> int | None:
+        """The live pid holding the lock at *path* (default: the run's
+        lockfile), or None if the lock is stale/unreadable."""
         try:
-            pid = int(self.lock_path.read_text().strip())
+            pid = int((path or self.lock_path).read_text().strip())
         except (OSError, ValueError):
             return None
         try:
@@ -287,6 +347,16 @@ class RunCheckpoint:
         except BaseException:
             self.close()
             raise
+
+    def load_completed(self, labels: Sequence[str]) -> dict[str, ShardArtifact]:
+        """Re-read the journal and return every verified completed
+        shard among *labels*.
+
+        Unlike :meth:`begin`, this can be called repeatedly while a
+        run is in flight — the distributed coordinator polls it to
+        watch workers append to the shared journal.
+        """
+        return self._load_verified([str(label) for label in labels])
 
     def _write_manifest(self, labels: list[str]) -> None:
         manifest = {
@@ -386,30 +456,17 @@ class RunCheckpoint:
         data = pickle.dumps(artifact, protocol=PICKLE_PROTOCOL)
         self.artifact_dir.mkdir(parents=True, exist_ok=True)
         relative = f"{ARTIFACT_DIR}/{artifact_name(label)}"
-        atomic_write_bytes(self.directory / relative, data)
-        entry = {
+        atomic_write_bytes(self.directory / relative, data, unique_tmp=True)
+        append_journal_entry(self.journal_path, {
             "shard_id": label,
             "artifact": relative,
             "sha256": _sha256(data),
             "records": records,
             "wall_seconds": wall_seconds,
-        }
-        if self._journal_handle is None:
-            self._journal_handle = open(
-                self.journal_path, "a", encoding="utf-8"
-            )
-        self._journal_handle.write(json.dumps(entry) + "\n")
-        self._journal_handle.flush()
-        try:
-            os.fsync(self._journal_handle.fileno())
-        except OSError:
-            pass
+        })
 
     def close(self) -> None:
-        """Release the lock and the journal handle (idempotent)."""
-        if self._journal_handle is not None:
-            self._journal_handle.close()
-            self._journal_handle = None
+        """Release the lock (idempotent)."""
         if self._locked:
             self.lock_path.unlink(missing_ok=True)
             self._locked = False
@@ -458,6 +515,46 @@ class RunAudit:
     @property
     def completed(self) -> int:
         return sum(1 for entry in self.entries if entry.status == "ok")
+
+    def to_json(self) -> dict:
+        """The machine-readable audit (``repro verify-run --json``).
+
+        Groups shards by verdict so CI drills can assert on structure
+        — ``completed``/``pending`` are plain label lists, ``damaged``
+        keeps the per-shard status and detail.
+        """
+        return {
+            "schema": "repro.verify/1",
+            "directory": str(self.directory),
+            "ok": self.ok,
+            "fingerprint": self.fingerprint,
+            "errors": list(self.errors),
+            "counts": {
+                "planned": len(self.entries),
+                "completed": self.completed,
+                "pending": sum(
+                    1 for e in self.entries if e.status == "pending"
+                ),
+                "damaged": sum(1 for e in self.entries if e.damaged),
+            },
+            "shards": {
+                "completed": [
+                    e.shard_id for e in self.entries if e.status == "ok"
+                ],
+                "pending": [
+                    e.shard_id for e in self.entries if e.status == "pending"
+                ],
+                "damaged": [
+                    {
+                        "shard_id": e.shard_id,
+                        "status": e.status,
+                        "detail": e.detail,
+                    }
+                    for e in self.entries
+                    if e.damaged
+                ],
+            },
+        }
 
 
 def audit_run(directory: Path | str) -> RunAudit:

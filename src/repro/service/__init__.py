@@ -17,11 +17,14 @@ the same input:
 * :class:`IngestService` — the ``repro serve`` process: stdlib asyncio
   HTTP with bounded-queue backpressure (429 + Retry-After);
 * :class:`LoadGenerator` — the ``repro loadgen`` client: shared-
-  schedule rate limiting with live delta-snapshot metrics.
+  schedule rate limiting with live delta-snapshot metrics;
+* :class:`WorkerStatusServer` — the ``repro run-distributed`` status
+  sidecar: ``/healthz``-style progress over a shared queue directory.
 """
 
 from repro.service.http import IngestService
-from repro.service.loadgen import LoadGenerator, build_payload
+from repro.service.loadgen import LoadGenerator, backoff_delay, build_payload
+from repro.service.status import WorkerStatusServer, queue_status
 from repro.service.tailer import LogTailer
 from repro.service.window import WindowStore
 
@@ -30,5 +33,8 @@ __all__ = [
     "LoadGenerator",
     "LogTailer",
     "WindowStore",
+    "WorkerStatusServer",
+    "backoff_delay",
     "build_payload",
+    "queue_status",
 ]

@@ -12,9 +12,14 @@ The rate limiter is a *shared schedule*: request *i* is due at
 due time.  Unlike per-worker pacing, the offered rate is then
 independent of the worker count, and a slow response delays only the
 workers stuck on it — the schedule itself never drifts.  A ``429``
-answer is honored by sleeping the server's ``Retry-After`` and
-retrying the same payload, so throttling sheds load without losing
-records.
+answer is honored by sleeping the server's ``Retry-After`` — doubled
+for each consecutive throttle of the same payload, capped at
+``retry_after_cap`` — and retrying the same payload, so throttling
+sheds load without losing records and a persistently busy server is
+not hammered at a fixed cadence.  Each deferred re-send is counted
+separately (``loadgen.deferred``) from the throttle responses that
+caused it, so the live report distinguishes "server said slow down"
+from "client actually re-sent later".
 
 Live metrics ride the same delta-snapshot machinery as the server's
 ``/stats``: the generator's private registry is marked every report
@@ -78,6 +83,18 @@ def build_payload(index: int, lines: int, days: int) -> str:
     return out.getvalue()
 
 
+def backoff_delay(retry_after: float, streak: int, cap: float) -> float:
+    """The sleep before re-sending a throttled payload.
+
+    *streak* counts consecutive ``429`` answers for the same payload
+    (0 on the first).  The server's ``Retry-After`` is the base; each
+    repeat doubles it, capped at *cap* so a persistently saturated
+    server bounds the worst-case defer instead of stalling the
+    schedule indefinitely.
+    """
+    return min(cap, max(0.0, retry_after) * (2.0 ** streak))
+
+
 class LoadGenerator:
     """Drive ``/ingest`` at *rate* requests/second until *total*
     requests have been accepted."""
@@ -93,12 +110,17 @@ class LoadGenerator:
         days: int = 3,
         workers: int = 4,
         report_interval: float = 1.0,
+        retry_after_cap: float = 5.0,
         quiet: bool = False,
     ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be > 0, got {rate}")
         if total < 1:
             raise ValueError(f"total must be >= 1, got {total}")
+        if retry_after_cap <= 0:
+            raise ValueError(
+                f"retry_after_cap must be > 0, got {retry_after_cap}"
+            )
         self.host = host
         self.port = port
         self.rate = rate
@@ -107,6 +129,7 @@ class LoadGenerator:
         self.days = days
         self.workers = max(1, min(workers, total))
         self.report_interval = report_interval
+        self.retry_after_cap = retry_after_cap
         self.quiet = quiet
         self.registry = MetricsRegistry()
         self._next_index = 0
@@ -163,6 +186,7 @@ class LoadGenerator:
                 body = build_payload(
                     index, self.lines_per_request, self.days
                 )
+                streak = 0
                 while True:
                     status, headers, payload = await self._request(
                         reader, writer, "POST", "/ingest", body
@@ -180,9 +204,13 @@ class LoadGenerator:
                         break
                     if status == 429:
                         self.registry.inc("loadgen.throttled")
-                        await asyncio.sleep(
-                            float(headers.get("retry-after", "1"))
-                        )
+                        self.registry.inc("loadgen.deferred")
+                        await asyncio.sleep(backoff_delay(
+                            float(headers.get("retry-after", "1")),
+                            streak,
+                            self.retry_after_cap,
+                        ))
+                        streak += 1
                         continue
                     self.registry.inc("loadgen.errors")
                     break
@@ -205,7 +233,8 @@ class LoadGenerator:
                 f"loadgen: {sent}/{self.total} requests"
                 f" | {delta.rate('loadgen.sent'):.1f} req/s"
                 f" | {delta.rate('loadgen.lines'):.0f} lines/s"
-                f" | throttled {delta.count('loadgen.throttled')}",
+                f" | throttled {delta.count('loadgen.throttled')}"
+                f" | deferred {delta.count('loadgen.deferred')}",
                 flush=True,
             )
 
@@ -250,6 +279,7 @@ class LoadGenerator:
             "requests": counters["loadgen.sent"],
             "accepted": counters["loadgen.accepted"],
             "throttled": counters["loadgen.throttled"],
+            "deferred": counters["loadgen.deferred"],
             "errors": counters["loadgen.errors"],
             "lines": counters["loadgen.lines"],
             "elapsed_seconds": elapsed,

@@ -153,3 +153,69 @@ class TestCompareCli:
                 "compare", "--requests", "100",
                 "--regimes", "syria", "atlantis",
             ])
+
+
+class TestCompareResilience:
+    """``repro compare`` composes with the resilience surface: batched
+    execution must not change a single reported number, and a fault
+    plan under ``--allow-partial`` quarantines per regime without
+    sinking the comparison."""
+
+    REGIMES = ("syria", "pakistan")
+    SMALL = ScenarioConfig(
+        total_requests=2_000, seed=9, boosts=dict(DEFAULT_BOOSTS)
+    )
+
+    def test_batched_comparison_equals_scalar(self):
+        scalar = compare_regimes(self.SMALL, self.REGIMES)
+        batched = compare_regimes(self.SMALL, self.REGIMES, batch_size=64)
+        assert comparison_to_json(batched) == comparison_to_json(scalar)
+
+    def test_quarantined_day_reported_once_per_regime(self):
+        from repro.engine import RetryPolicy
+        from repro.faults import FaultPlan, FaultRule, ShardFailureReport
+
+        victim = f"day:{self.SMALL.days[1]}"
+        failures = ShardFailureReport()
+        partial = compare_regimes(
+            self.SMALL, self.REGIMES,
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+            allow_partial=True, failures=failures,
+            fault_plan=FaultPlan(rules=(
+                FaultRule(site="shard.start", kind="crash",
+                          shard_id=victim),
+            )),
+        )
+        # One quarantine record per regime: each regime's run lost the
+        # same shard of the shared workload.
+        assert failures.shard_ids() == [victim] * len(self.REGIMES)
+        clean = compare_regimes(self.SMALL, self.REGIMES)
+        for name in self.REGIMES:
+            survived = partial.summary_for(name)
+            assert 0 < survived.total < clean.summary_for(name).total
+
+    def test_cli_fault_plan_with_allow_partial(self, monkeypatch, capsys):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "rate=1.0,seed=1,attempts=99"
+        )
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", "0")
+        assert main([
+            "compare", "--requests", "1500", "--seed", "3",
+            "--regimes", "syria", "--allow-partial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "Regime comparison" in out
+
+    def test_cli_fault_plan_without_allow_partial_fails(self, monkeypatch):
+        from repro.engine import ShardError
+
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "rate=1.0,seed=1,attempts=99"
+        )
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", "0")
+        with pytest.raises(ShardError):
+            main([
+                "compare", "--requests", "1500", "--seed", "3",
+                "--regimes", "syria",
+            ])

@@ -22,6 +22,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -498,3 +499,123 @@ class TestVerifyRunCli:
 
         assert main(["verify-run", str(tmp_path / "nowhere")]) == 1
         assert "unreadable manifest" in capsys.readouterr().out
+
+
+class TestVerifyRunJson:
+    """``repro verify-run --json``: the machine-readable audit."""
+
+    def _ledger(self, tmp_path) -> Path:
+        from repro.cli import main
+
+        ledger = tmp_path / "ledger"
+        assert main([
+            "simulate", "--requests", "600", "--seed", "4",
+            "--out", str(tmp_path / "out"),
+            "--checkpoint-dir", str(ledger),
+        ]) == 0
+        return ledger
+
+    def test_clean_ledger_document(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = self._ledger(tmp_path)
+        capsys.readouterr()  # drain the simulate output
+        assert main(["verify-run", str(ledger), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.verify/1"
+        assert document["ok"] is True
+        assert document["errors"] == []
+        assert document["counts"] == {
+            "planned": 9, "completed": 9, "pending": 0, "damaged": 0,
+        }
+        assert len(document["shards"]["completed"]) == 9
+        assert document["shards"]["pending"] == []
+        assert document["shards"]["damaged"] == []
+        assert document["fingerprint"]["command"] == "simulate"
+
+    def test_damaged_ledger_document_and_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = self._ledger(tmp_path)
+        artifact = next((ledger / "artifacts").glob("*.pkl"))
+        artifact.write_bytes(b"not a pickle")
+        capsys.readouterr()  # drain the simulate output
+        assert main(["verify-run", str(ledger), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["counts"]["damaged"] == 1
+        (damaged,) = document["shards"]["damaged"]
+        assert damaged["status"] == "hash-mismatch"
+        assert damaged["shard_id"].startswith("day:")
+
+    def test_missing_ledger_document(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["verify-run", str(tmp_path / "nowhere"), "--json"]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert "unreadable manifest" in document["errors"][0]
+
+
+_RACE_SCRIPT = """
+import sys, time
+from pathlib import Path
+from repro.runstate import CheckpointLocked, RunCheckpoint, run_fingerprint
+
+directory, go, ready = Path(sys.argv[1]), Path(sys.argv[2]), Path(sys.argv[3])
+checkpoint = RunCheckpoint(
+    directory, run_fingerprint("test", seed=7), resume=True
+)
+ready.touch()  # imports done; the race itself starts at `go`
+while not go.exists():
+    time.sleep(0.001)
+try:
+    checkpoint.begin(["item:1", "item:2", "item:3"])
+except CheckpointLocked:
+    print("LOCKED")
+else:
+    time.sleep(2.0)  # hold the lock so the loser sees a live owner
+    checkpoint.close()
+    print("WON")
+"""
+
+
+class TestStaleLockReclaimRace:
+    def test_two_processes_reclaim_exactly_one_winner(self, tmp_path):
+        """Two real processes race to reclaim the same stale LOCK; the
+        tomb rename + O_EXCL create admit exactly one."""
+        _complete_ledger(tmp_path / "run")
+        # Forge a lock owned by a pid that cannot be alive.
+        (tmp_path / "run" / "LOCK").write_text("4000000000")
+        go = tmp_path / "go"
+        ready = [tmp_path / "ready-0", tmp_path / "ready-1"]
+        racers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_SCRIPT,
+                 str(tmp_path / "run"), str(go), str(ready[i])],
+                env=dict(os.environ) | {
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parent.parent / "src"
+                    ),
+                },
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for i in range(2)
+        ]
+        deadline = time.time() + 30.0
+        while not all(p.exists() for p in ready):
+            assert time.time() < deadline, "racers failed to start"
+            time.sleep(0.01)
+        go.touch()
+        outcomes = []
+        for racer in racers:
+            out, err = racer.communicate(timeout=60)
+            assert racer.returncode == 0, err
+            outcomes.append(out.strip())
+        assert sorted(outcomes) == ["LOCKED", "WON"]
+        # The reclaim left no stale tomb or lock behind.
+        assert not (tmp_path / "run" / "LOCK").exists()
+        leftovers = list((tmp_path / "run").glob("LOCK.stale-*"))
+        assert leftovers == []

@@ -557,3 +557,115 @@ class TestHealthzRegime:
             _with_service(self._health, regime="pakistan")
         )
         assert health["regime"] == "pakistan"
+
+
+class TestRetryAfterBackoff:
+    """429 handling: the server's Retry-After is honoured with capped
+    exponential growth across consecutive throttles of one payload,
+    and every deferred re-send is counted apart from the throttle
+    responses that caused it."""
+
+    def test_backoff_delay_is_capped_exponential(self):
+        from repro.service import backoff_delay
+
+        assert backoff_delay(1.0, 0, 5.0) == 1.0
+        assert backoff_delay(1.0, 1, 5.0) == 2.0
+        assert backoff_delay(1.0, 2, 5.0) == 4.0
+        assert backoff_delay(1.0, 3, 5.0) == 5.0  # capped
+        assert backoff_delay(10.0, 0, 5.0) == 5.0  # capped immediately
+        assert backoff_delay(-2.0, 1, 5.0) == 0.0  # hostile header
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            LoadGenerator("h", 1, rate=1, total=1, retry_after_cap=0)
+
+    def test_throttled_run_counts_deferred_sends(self):
+        """Against a server that 429s every payload twice before
+        accepting it, the deferred count is exact and every record
+        still lands."""
+        DENIALS = 2
+        TOTAL = 3
+
+        async def drive():
+            seen: dict[bytes, int] = {}
+
+            async def handle(reader, writer):
+                try:
+                    while True:
+                        request = await reader.readline()
+                        if not request:
+                            break
+                        headers = {}
+                        while True:
+                            line = (await reader.readline()).decode().strip()
+                            if not line:
+                                break
+                            name, _, value = line.partition(":")
+                            headers[name.strip().lower()] = value.strip()
+                        length = int(headers.get("content-length", "0"))
+                        body = await reader.readexactly(length)
+                        count = seen.get(body, 0)
+                        seen[body] = count + 1
+                        if request.startswith(b"POST") and count < DENIALS:
+                            head = (
+                                "HTTP/1.1 429 Too Many Requests\r\n"
+                                "Retry-After: 0.005\r\n"
+                                "Content-Length: 2\r\n\r\n"
+                            )
+                            writer.write(head.encode() + b"{}")
+                        else:
+                            payload = b'{"queue_depth": 0}'
+                            head = (
+                                "HTTP/1.1 202 Accepted\r\n"
+                                f"Content-Length: {len(payload)}\r\n\r\n"
+                            )
+                            writer.write(head.encode() + payload)
+                        await writer.drain()
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                generator = LoadGenerator(
+                    "127.0.0.1", port, rate=500.0, total=TOTAL,
+                    lines_per_request=2, workers=1, quiet=True,
+                    retry_after_cap=0.05,
+                )
+                return await generator.run()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        summary = asyncio.run(drive())
+        assert summary["accepted"] == TOTAL
+        assert summary["throttled"] == TOTAL * DENIALS
+        assert summary["deferred"] == TOTAL * DENIALS
+        assert summary["errors"] == 0
+        assert summary["requests"] == TOTAL * (DENIALS + 1)
+
+    def test_summary_reports_zero_deferred_without_throttling(self):
+        """The deferred counter exists (as 0) even on a clean run, so
+        dashboards can rely on the key."""
+
+        async def drive():
+            service = IngestService(queue_size=16)
+            await service.start()
+            try:
+                generator = LoadGenerator(
+                    service.host, service.port,
+                    rate=400.0, total=5, lines_per_request=2,
+                    workers=2, quiet=True,
+                )
+                summary = await generator.run()
+                await service.drain()
+                return summary
+            finally:
+                await service.stop()
+
+        summary = asyncio.run(drive())
+        assert summary["accepted"] == 5
+        assert summary["deferred"] == 0
+        assert summary["throttled"] == 0
